@@ -1,0 +1,43 @@
+package lafdbscan
+
+import (
+	"math/rand"
+
+	"lafdbscan/internal/dataset"
+)
+
+// Dataset is a collection of unit-normalized vectors with optional
+// generator-side ground-truth component labels.
+type Dataset = dataset.Dataset
+
+// MixtureConfig configures the generic spherical-mixture generator.
+type MixtureConfig = dataset.MixtureConfig
+
+// GenerateMixture draws a normalized dataset from the config.
+func GenerateMixture(name string, cfg MixtureConfig) *Dataset {
+	return dataset.GenerateMixture(name, cfg)
+}
+
+// GloVeLike generates a 200-dimensional word-embedding-style dataset
+// mirroring the paper's Glove-150k family.
+func GloVeLike(n int, seed int64) *Dataset { return dataset.GloVeLike(n, seed) }
+
+// MSLike generates a 768-dimensional passage-embedding-style dataset
+// mirroring the paper's MS MARCO family (the hardest distribution in the
+// paper's evaluation).
+func MSLike(n int, seed int64) *Dataset { return dataset.MSLike(n, seed) }
+
+// NYTLike generates a 256-dimensional dataset mirroring NYT-150k: sparse
+// bag-of-words counts, Gaussian-random-projected and normalized.
+func NYTLike(n int, seed int64) *Dataset {
+	return dataset.NYTLike(dataset.NYTLikeConfig{N: n, Seed: seed, NoiseFrac: 0.15})
+}
+
+// Split partitions d into train and test subsets with the given train
+// fraction; the paper uses 0.8.
+func Split(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset) {
+	return d.Split(trainFrac, rand.New(rand.NewSource(seed)))
+}
+
+// LoadDataset reads a dataset file written by Dataset.Save (or cmd/datagen).
+func LoadDataset(path string) (*Dataset, error) { return dataset.Load(path) }

@@ -1,0 +1,56 @@
+package lafdbscan_test
+
+import (
+	"fmt"
+
+	"lafdbscan"
+)
+
+// The full pipeline: generate data, train the learned estimator on the 80%
+// split, cluster the 20% split with LAF-DBSCAN.
+func ExampleLAFDBSCAN() {
+	data := lafdbscan.MSLike(1000, 1)
+	train, test := lafdbscan.Split(data, 0.8, 42)
+
+	est, err := lafdbscan.TrainRMIEstimator(train.Vectors, lafdbscan.EstimatorConfig{
+		TargetSize: test.Len(),
+		Seed:       1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := lafdbscan.LAFDBSCAN(test.Vectors, lafdbscan.Params{
+		Eps: 0.55, Tau: 5, Alpha: 1.2, Estimator: est,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Labels) == test.Len())
+	// Output: true
+}
+
+// Comparing an approximate labeling against exact DBSCAN with the paper's
+// quality metrics.
+func ExampleARI() {
+	truth := []int{1, 1, 2, 2, lafdbscan.Noise}
+	pred := []int{7, 7, 9, 9, lafdbscan.Noise}
+	ari, _ := lafdbscan.ARI(truth, pred)
+	ami, _ := lafdbscan.AMI(truth, pred)
+	fmt.Printf("ARI=%.1f AMI=%.1f\n", ari, ami)
+	// Output: ARI=1.0 AMI=1.0
+}
+
+// Equation 1 of the paper: on unit vectors a cosine threshold of 0.5 equals
+// a Euclidean threshold of 1.0.
+func ExampleCosineToEuclidean() {
+	fmt.Println(lafdbscan.CosineToEuclidean(0.5))
+	// Output: 1
+}
+
+// Summarizing a labeling the way the paper's Table 2 does.
+func ExampleStats() {
+	labels := []int{1, 1, 1, 2, lafdbscan.Noise}
+	s := lafdbscan.Stats(labels)
+	fmt.Printf("clusters=%d noise=%.1f\n", s.NumClusters, s.NoiseRatio)
+	// Output: clusters=2 noise=0.2
+}

@@ -1,0 +1,46 @@
+// Trade-off curves as CSV: regenerates the data behind the paper's Figures
+// 2 and 3 (speed-quality trade-off of every approximate method) and emits
+// it as CSV on stdout, ready for plotting:
+//
+//	go run ./examples/tradeoff > tradeoff.csv
+//
+// Columns: dataset, method, knob, ami, seconds. Dataset scales follow
+// LAF_BENCH_SCALE (small when unset).
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"log"
+	"os"
+
+	"lafdbscan/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tradeoff: ")
+	w := bench.NewWorkbench(bench.DefaultConfig())
+	cw := csv.NewWriter(os.Stdout)
+	defer cw.Flush()
+	if err := cw.Write([]string{"dataset", "method", "knob", "ami", "seconds"}); err != nil {
+		log.Fatal(err)
+	}
+	for _, key := range []string{bench.KeyMSLarge, bench.KeyGlove} {
+		log.Printf("sweeping %s (this runs every method at five knob settings)...", key)
+		pts, err := w.Tradeoff(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pts {
+			rec := []string{
+				key, p.Method, p.Knob,
+				fmt.Sprintf("%.4f", p.AMI),
+				fmt.Sprintf("%.3f", p.Elapsed.Seconds()),
+			}
+			if err := cw.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lafdbscan/internal/core"
+	"lafdbscan/internal/metrics"
+)
+
+// AblationRow compares LAF-DBSCAN with and without one of its design
+// elements on one dataset.
+type AblationRow struct {
+	Dataset string
+	Setting Setting
+	Variant string
+	ARI     float64
+	AMI     float64
+	Elapsed time.Duration
+	Merges  int
+}
+
+// PostProcessingAblation isolates the contribution of Algorithm 3 (the
+// repair pass): LAF-DBSCAN with and without post-processing on the largest
+// datasets at (0.55, 5). DESIGN.md calls this design choice out; the paper
+// motivates it but never measures it separately.
+func (w *Workbench) PostProcessingAblation() ([]AblationRow, error) {
+	s := Setting{0.55, 5}
+	var rows []AblationRow
+	for _, key := range w.LargestKeys() {
+		truth, err := w.GroundTruth(key, s)
+		if err != nil {
+			return nil, err
+		}
+		est, err := w.Estimator(key)
+		if err != nil {
+			return nil, err
+		}
+		pts := w.TestSet(key).Vectors
+		for _, disable := range []bool{false, true} {
+			res, err := (&core.LAFDBSCAN{Points: pts, Config: core.Config{
+				Eps: s.Eps, Tau: s.Tau, Alpha: w.Alpha(key),
+				Estimator: est, Seed: w.Cfg.Seed,
+				DisablePostProcessing: disable,
+			}}).Run()
+			if err != nil {
+				return nil, err
+			}
+			ari, err := metrics.ARI(truth.Labels, res.Labels)
+			if err != nil {
+				return nil, err
+			}
+			ami, err := metrics.AMI(truth.Labels, res.Labels)
+			if err != nil {
+				return nil, err
+			}
+			variant := "with post-processing"
+			if disable {
+				variant = "without post-processing"
+			}
+			rows = append(rows, AblationRow{
+				Dataset: key, Setting: s, Variant: variant,
+				ARI: ari, AMI: ami, Elapsed: res.Elapsed, Merges: res.PostMerges,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintAblation renders ablation rows.
+func FprintAblation(out io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(out, title)
+	fmt.Fprintf(out, "%-14s %-26s %8s %8s %10s %7s\n",
+		"Dataset", "Variant", "ARI", "AMI", "Time(s)", "Merges")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-14s %-26s %8.4f %8.4f %10.3f %7d\n",
+			r.Dataset, r.Variant, r.ARI, r.AMI, r.Elapsed.Seconds(), r.Merges)
+	}
+}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the full-suite test fast: every dataset is a few hundred
+// points and the estimator trains for a handful of epochs.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MSScales = [3]int{120, 180, 240}
+	cfg.GloveN = 240
+	cfg.NYTN = 240
+	cfg.TrainFactor = 2
+	cfg.EstimatorQueries = 60
+	cfg.EstimatorEpochs = 4
+	return cfg
+}
+
+func TestWorkbenchCaching(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	d1 := w.TestSet(KeyGlove)
+	d2 := w.TestSet(KeyGlove)
+	if d1 != d2 {
+		t.Error("dataset not cached")
+	}
+	e1, err := w.Estimator(KeyGlove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := w.Estimator(KeyGlove)
+	if e1 != e2 {
+		t.Error("estimator not cached")
+	}
+	s := Setting{0.5, 3}
+	g1, err := w.GroundTruth(KeyGlove, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := w.GroundTruth(KeyGlove, s)
+	if g1 != g2 {
+		t.Error("ground truth not cached")
+	}
+}
+
+func TestWorkbenchUnknownKeyPanics(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.TestSet("bogus")
+}
+
+func TestRunMethodUnknown(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	if _, err := w.RunMethod("bogus", KeyGlove, Setting{0.5, 3}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestSampleFractionInRange(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	p, err := w.SampleFraction(KeyGlove, Setting{0.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Errorf("p = %v", p)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	rows := w.Table1()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	dims := map[string]int{}
+	for _, r := range rows {
+		dims[r.Type] = r.Dim
+	}
+	if dims["Bag-of-words"] != 256 || dims["Word embedding"] != 200 || dims["Passage embedding"] != 768 {
+		t.Errorf("dims %v", dims)
+	}
+	var buf bytes.Buffer
+	FprintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("missing header")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	cells, err := w.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 15 { // 5 settings x 3 scales
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.NoiseRatio < 0 || c.NoiseRatio > 1 {
+			t.Errorf("noise ratio %v", c.NoiseRatio)
+		}
+	}
+	var buf bytes.Buffer
+	FprintTable2(&buf, cells, w.MSKeys())
+	if !strings.Contains(buf.String(), "(0.70,5)") {
+		t.Errorf("missing grid row:\n%s", buf.String())
+	}
+}
+
+func TestQualityAndTimes(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	keys := []string{KeyGlove}
+	settings := []Setting{{0.5, 3}}
+	rows, err := w.Quality(keys, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ApproxMethods()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ARI < -1 || r.ARI > 1.0001 {
+			t.Errorf("%s ARI = %v", r.Method, r.ARI)
+		}
+	}
+	var buf bytes.Buffer
+	FprintQuality(&buf, "Table 3", rows, keys)
+	if !strings.Contains(buf.String(), "LAF-DBSCAN") {
+		t.Error("missing method row")
+	}
+
+	times, err := w.Times(keys, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(AllMethods()) {
+		t.Fatalf("times = %d", len(times))
+	}
+	buf.Reset()
+	FprintTimes(&buf, "Figure 1", times, keys)
+	if !strings.Contains(buf.String(), "DBSCAN") {
+		t.Error("missing timing row")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	rows, err := w.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // 3 settings x 3 scales
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	FprintTable4(&buf, rows, w.MSKeys())
+	if !strings.Contains(buf.String(), "rho-approximate") {
+		t.Error("missing header")
+	}
+}
+
+func TestTable6(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	rows, err := w.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.MissedClusters > r.Stats.TotalClusters {
+			t.Errorf("MC > TC: %+v", r.Stats)
+		}
+	}
+	var buf bytes.Buffer
+	FprintTable6(&buf, rows)
+	if !strings.Contains(buf.String(), "ASMC") {
+		t.Error("missing column header")
+	}
+}
+
+func TestTradeoffSweep(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	pts, err := w.Tradeoff(KeyGlove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 alpha + 5 delta x 2 methods + 5 knn + 5 block = 25 points
+	if len(pts) != 25 {
+		t.Fatalf("points = %d, want 25", len(pts))
+	}
+	methods := map[string]int{}
+	for _, p := range pts {
+		methods[p.Method]++
+		if p.AMI < -1 || p.AMI > 1.0001 {
+			t.Errorf("%s %s AMI = %v", p.Method, p.Knob, p.AMI)
+		}
+	}
+	for _, m := range ApproxMethods() {
+		if methods[m] != 5 {
+			t.Errorf("method %s has %d points", m, methods[m])
+		}
+	}
+	var buf bytes.Buffer
+	FprintTradeoff(&buf, "Figure 2", pts)
+	if !strings.Contains(buf.String(), "alpha=") {
+		t.Error("missing knob annotation")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	rows, err := w.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(AllMethods()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	FprintFigure4(&buf, rows, w.MSKeys())
+	if !strings.Contains(buf.String(), "annotations") {
+		t.Error("missing annotations")
+	}
+}
+
+func TestPaperSettingsAndGrid(t *testing.T) {
+	if len(PaperSettings()) != 3 || len(GridSettings()) != 5 {
+		t.Error("setting lists wrong")
+	}
+	if (PaperSettings()[0] != Setting{0.5, 3}) {
+		t.Error("first paper setting wrong")
+	}
+}
+
+func TestDefaultConfigScaleEnv(t *testing.T) {
+	t.Setenv("LAF_BENCH_SCALE", "medium")
+	cfg := DefaultConfig()
+	if cfg.MSScales[2] != 3000 {
+		t.Errorf("medium scale = %v", cfg.MSScales)
+	}
+	t.Setenv("LAF_BENCH_SCALE", "large")
+	cfg = DefaultConfig()
+	if cfg.MSScales[2] != 6000 {
+		t.Errorf("large scale = %v", cfg.MSScales)
+	}
+	t.Setenv("LAF_BENCH_SCALE", "")
+	cfg = DefaultConfig()
+	if cfg.MSScales[2] != 1500 {
+		t.Errorf("small scale = %v", cfg.MSScales)
+	}
+}
+
+func TestPostProcessingAblation(t *testing.T) {
+	w := NewWorkbench(tinyConfig())
+	rows, err := w.PostProcessingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 datasets x 2 variants
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	FprintAblation(&buf, "Ablation", rows)
+	if !strings.Contains(buf.String(), "without post-processing") {
+		t.Error("missing variant row")
+	}
+}

@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lafdbscan/internal/metrics"
+)
+
+// --- Table 1: dataset inventory ---------------------------------------
+
+// Table1Row mirrors one row of the paper's Table 1.
+type Table1Row struct {
+	Dataset string
+	Points  int
+	Dim     int
+	Alpha   float64
+	Type    string
+}
+
+// Table1 reports the evaluation datasets (test splits) with their sizes,
+// dimensions, configured error factors and vector types.
+func (w *Workbench) Table1() []Table1Row {
+	types := map[string]string{
+		KeyNYT:     "Bag-of-words",
+		KeyGlove:   "Word embedding",
+		KeyMSSmall: "Passage embedding",
+		KeyMSMid:   "Passage embedding",
+		KeyMSLarge: "Passage embedding",
+	}
+	var rows []Table1Row
+	for _, key := range w.DatasetKeys() {
+		ts := w.TestSet(key)
+		rows = append(rows, Table1Row{
+			Dataset: ts.Name, Points: ts.Len(), Dim: ts.Dim(),
+			Alpha: w.Alpha(key), Type: types[key],
+		})
+	}
+	return rows
+}
+
+// FprintTable1 renders Table 1 in the paper's layout.
+func FprintTable1(out io.Writer, rows []Table1Row) {
+	fmt.Fprintf(out, "Table 1: evaluation dataset information\n")
+	fmt.Fprintf(out, "%-22s %9s %5s %6s  %s\n", "Dataset", "#Points", "Dim", "alpha", "Type")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-22s %9d %5d %6.2f  %s\n", r.Dataset, r.Points, r.Dim, r.Alpha, r.Type)
+	}
+}
+
+// --- Table 2: (eps, tau) selection grid --------------------------------
+
+// Table2Cell is one (noise ratio, number of clusters) cell.
+type Table2Cell struct {
+	Dataset     string
+	Setting     Setting
+	NoiseRatio  float64
+	NumClusters int
+}
+
+// Table2 reproduces the noise-ratio / cluster-count grid the paper uses to
+// pick representative (eps, tau) values, over the three MS-like scales.
+func (w *Workbench) Table2() ([]Table2Cell, error) {
+	var cells []Table2Cell
+	for _, s := range GridSettings() {
+		for _, key := range w.MSKeys() {
+			truth, err := w.GroundTruth(key, s)
+			if err != nil {
+				return nil, err
+			}
+			st := metrics.Stats(truth.Labels)
+			cells = append(cells, Table2Cell{
+				Dataset: key, Setting: s,
+				NoiseRatio: st.NoiseRatio, NumClusters: st.NumClusters,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// FprintTable2 renders the grid with one (eps, tau) row per line, exactly
+// like the paper's Table 2, marking the cells that satisfy the paper's
+// criteria (noise ratio < 0.6 and more than 20 clusters) with an asterisk.
+func FprintTable2(out io.Writer, cells []Table2Cell, msKeys []string) {
+	fmt.Fprintf(out, "Table 2: noise ratio and cluster count per (eps, tau)\n")
+	fmt.Fprintf(out, "%-12s", "(eps,tau)")
+	for _, k := range msKeys {
+		fmt.Fprintf(out, " %-18s", k)
+	}
+	fmt.Fprintln(out)
+	byKey := make(map[Setting]map[string]Table2Cell)
+	var order []Setting
+	for _, c := range cells {
+		if byKey[c.Setting] == nil {
+			byKey[c.Setting] = make(map[string]Table2Cell)
+			order = append(order, c.Setting)
+		}
+		byKey[c.Setting][c.Dataset] = c
+	}
+	for _, s := range order {
+		fmt.Fprintf(out, "(%.2f,%d)%-4s", s.Eps, s.Tau, "")
+		for _, k := range msKeys {
+			c := byKey[s][k]
+			mark := " "
+			if c.NoiseRatio < 0.6 && c.NumClusters > 20 {
+				mark = "*"
+			}
+			fmt.Fprintf(out, " (%.2f, %4d)%s     ", c.NoiseRatio, c.NumClusters, mark)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out, "* satisfies the selection criteria (noise < 0.6, clusters > 20)")
+}
+
+// --- Tables 3 & 5: clustering quality ----------------------------------
+
+// QualityRow is one method's ARI and AMI against the DBSCAN ground truth.
+type QualityRow struct {
+	Dataset string
+	Setting Setting
+	Method  string
+	ARI     float64
+	AMI     float64
+	Elapsed time.Duration
+}
+
+// Quality runs the approximate methods on the given dataset keys and
+// settings, scoring each against exact DBSCAN. Table 3 uses the three
+// largest datasets with all paper settings; Table 5 uses the MS scales at
+// (0.55, 5).
+func (w *Workbench) Quality(keys []string, settings []Setting) ([]QualityRow, error) {
+	var rows []QualityRow
+	for _, s := range settings {
+		for _, key := range keys {
+			truth, err := w.GroundTruth(key, s)
+			if err != nil {
+				return nil, err
+			}
+			for _, method := range ApproxMethods() {
+				res, err := w.RunMethod(method, key, s)
+				if err != nil {
+					return nil, err
+				}
+				ari, err := metrics.ARI(truth.Labels, res.Labels)
+				if err != nil {
+					return nil, err
+				}
+				ami, err := metrics.AMI(truth.Labels, res.Labels)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, QualityRow{
+					Dataset: key, Setting: s, Method: method,
+					ARI: ari, AMI: ami, Elapsed: res.Elapsed,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Table3 is Quality on the three largest datasets across all paper settings.
+func (w *Workbench) Table3() ([]QualityRow, error) {
+	return w.Quality(w.LargestKeys(), PaperSettings())
+}
+
+// Table5 is Quality on the three MS-like scales at (0.55, 5).
+func (w *Workbench) Table5() ([]QualityRow, error) {
+	return w.Quality(w.MSKeys(), []Setting{{0.55, 5}})
+}
+
+// FprintQuality renders quality rows grouped the way the paper's Tables 3
+// and 5 are: one block per metric, one sub-block per setting, one column
+// per dataset.
+func FprintQuality(out io.Writer, title string, rows []QualityRow, keys []string) {
+	fmt.Fprintln(out, title)
+	type cellKey struct {
+		s      Setting
+		method string
+		ds     string
+	}
+	ariCells := make(map[cellKey]float64)
+	amiCells := make(map[cellKey]float64)
+	var settings []Setting
+	seen := make(map[Setting]bool)
+	for _, r := range rows {
+		k := cellKey{r.Setting, r.Method, r.Dataset}
+		ariCells[k] = r.ARI
+		amiCells[k] = r.AMI
+		if !seen[r.Setting] {
+			seen[r.Setting] = true
+			settings = append(settings, r.Setting)
+		}
+	}
+	for _, metric := range []struct {
+		name  string
+		cells map[cellKey]float64
+	}{{"ARI", ariCells}, {"AMI", amiCells}} {
+		fmt.Fprintf(out, "%s\n", metric.name)
+		for _, s := range settings {
+			fmt.Fprintf(out, "  (%.2f,%d)\n", s.Eps, s.Tau)
+			fmt.Fprintf(out, "    %-14s", "Method")
+			for _, k := range keys {
+				fmt.Fprintf(out, " %12s", k)
+			}
+			fmt.Fprintln(out)
+			for _, m := range ApproxMethods() {
+				fmt.Fprintf(out, "    %-14s", m)
+				for _, k := range keys {
+					fmt.Fprintf(out, " %12.4f", metric.cells[cellKey{s, m, k}])
+				}
+				fmt.Fprintln(out)
+			}
+		}
+	}
+}
+
+// --- Table 4: rho-approximate DBSCAN vs DBSCAN -------------------------
+
+// Table4Row is one cell of the paper's Table 4: the two wall times.
+type Table4Row struct {
+	Dataset string
+	Setting Setting
+	RhoTime time.Duration
+	DBTime  time.Duration
+}
+
+// Table4 times rho-approximate DBSCAN (rho = 1.0, the paper's already-
+// generous setting) against exact DBSCAN on the MS-like scales.
+func (w *Workbench) Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, s := range PaperSettings() {
+		for _, key := range w.MSKeys() {
+			truth, err := w.GroundTruth(key, s)
+			if err != nil {
+				return nil, err
+			}
+			rho, err := w.RunMethod("rho-approx", key, s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table4Row{
+				Dataset: key, Setting: s,
+				RhoTime: rho.Elapsed, DBTime: truth.Elapsed,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintTable4 renders the "t1/t2" cells of the paper's Table 4.
+func FprintTable4(out io.Writer, rows []Table4Row, msKeys []string) {
+	fmt.Fprintln(out, "Table 4: rho-approximate DBSCAN vs DBSCAN clustering time (t_rho/t_dbscan)")
+	byKey := make(map[Setting]map[string]Table4Row)
+	var order []Setting
+	for _, r := range rows {
+		if byKey[r.Setting] == nil {
+			byKey[r.Setting] = make(map[string]Table4Row)
+			order = append(order, r.Setting)
+		}
+		byKey[r.Setting][r.Dataset] = r
+	}
+	fmt.Fprintf(out, "%-12s", "(eps,tau)")
+	for _, k := range msKeys {
+		fmt.Fprintf(out, " %-24s", k)
+	}
+	fmt.Fprintln(out)
+	for _, s := range order {
+		fmt.Fprintf(out, "(%.2f,%d)%-4s", s.Eps, s.Tau, "")
+		for _, k := range msKeys {
+			r := byKey[s][k]
+			fmt.Fprintf(out, " %9.2fs/%-9.2fs    ", r.RhoTime.Seconds(), r.DBTime.Seconds())
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// --- Table 6: fully missed clusters ------------------------------------
+
+// Table6Row is one row of the paper's missed-cluster analysis.
+type Table6Row struct {
+	Dataset string
+	Setting Setting
+	Stats   metrics.MissedClusterStats
+}
+
+// Table6 reports LAF-DBSCAN's fully-missed-cluster statistics in the
+// configurations where the paper observed its lowest quality: (0.5, 3) on
+// NYT-like, (0.55, 5) on GloVe-like and MS-like-L.
+func (w *Workbench) Table6() ([]Table6Row, error) {
+	cases := []struct {
+		key string
+		s   Setting
+	}{
+		{KeyNYT, Setting{0.5, 3}},
+		{KeyGlove, Setting{0.55, 5}},
+		{KeyMSLarge, Setting{0.55, 5}},
+	}
+	var rows []Table6Row
+	for _, c := range cases {
+		truth, err := w.GroundTruth(c.key, c.s)
+		if err != nil {
+			return nil, err
+		}
+		laf, err := w.RunMethod("LAF-DBSCAN", c.key, c.s)
+		if err != nil {
+			return nil, err
+		}
+		st, err := metrics.MissedClusters(truth.Labels, laf.Labels)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table6Row{Dataset: c.key, Setting: c.s, Stats: st})
+	}
+	return rows, nil
+}
+
+// FprintTable6 renders the MC/TC, MP/TPC and ASMC columns of Table 6.
+func FprintTable6(out io.Writer, rows []Table6Row) {
+	fmt.Fprintln(out, "Table 6: fully missed clusters of LAF-DBSCAN")
+	fmt.Fprintf(out, "%-12s %-14s %10s %14s %8s\n", "(eps,tau)", "Dataset", "MC/TC", "MP/TPC", "ASMC")
+	for _, r := range rows {
+		fmt.Fprintf(out, "(%.2f,%d)%-4s %-14s %4d/%-5d %6d/%-7d %8.2f\n",
+			r.Setting.Eps, r.Setting.Tau, "", r.Dataset,
+			r.Stats.MissedClusters, r.Stats.TotalClusters,
+			r.Stats.MissedPoints, r.Stats.TotalClusteredPoints,
+			r.Stats.AvgMissedSize)
+	}
+}

@@ -1,0 +1,287 @@
+package cardest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lafdbscan/internal/dataset"
+	"lafdbscan/internal/index"
+	"lafdbscan/internal/rmi"
+	"lafdbscan/internal/vecmath"
+)
+
+func testPoints(n int, seed int64) [][]float32 {
+	return dataset.GenerateMixture("t", dataset.MixtureConfig{
+		N: n, Dim: 24, Clusters: 5, MinSpread: 0.3, MaxSpread: 0.6,
+		NoiseFrac: 0.2, Seed: seed,
+	}).Vectors
+}
+
+func exactCount(points [][]float32, q []float32, eps float64) int {
+	c := 0
+	for _, p := range points {
+		if vecmath.CosineDistanceUnit(q, p) < eps {
+			c++
+		}
+	}
+	return c
+}
+
+func TestExactEstimator(t *testing.T) {
+	pts := testPoints(200, 1)
+	bf := index.NewBruteForce(pts, vecmath.CosineDistanceUnit)
+	e := &Exact{Index: bf}
+	if e.Name() != "exact" {
+		t.Error("name")
+	}
+	for i := 0; i < 10; i++ {
+		q := pts[i*7]
+		want := float64(exactCount(pts, q, 0.5))
+		if got := e.Estimate(q, 0.5); got != want {
+			t.Fatalf("Exact.Estimate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSamplingEstimator(t *testing.T) {
+	pts := testPoints(500, 2)
+	rng := rand.New(rand.NewSource(3))
+	s := NewSampling(pts, vecmath.CosineDistanceUnit, 200, rng)
+	if s.Name() != "sampling" {
+		t.Error("name")
+	}
+	var relErr float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		q := pts[i*11]
+		truth := float64(exactCount(pts, q, 0.6))
+		got := s.Estimate(q, 0.6)
+		relErr += math.Abs(got-truth) / (truth + 5)
+	}
+	if relErr/trials > 0.5 {
+		t.Errorf("sampling estimator relative error %v too high", relErr/trials)
+	}
+}
+
+func TestSamplingFullSampleIsExact(t *testing.T) {
+	pts := testPoints(100, 4)
+	rng := rand.New(rand.NewSource(5))
+	s := NewSampling(pts, vecmath.CosineDistanceUnit, 100000, rng) // capped at n
+	for i := 0; i < 10; i++ {
+		q := pts[i]
+		if got, want := s.Estimate(q, 0.5), float64(exactCount(pts, q, 0.5)); got != want {
+			t.Fatalf("full sample not exact: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestSamplingPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSampling(nil, vecmath.CosineDistance, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestHistogramEstimator(t *testing.T) {
+	pts := testPoints(600, 6)
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram(pts, vecmath.CosineDistanceUnit, 30, 0.05, 2.0, rng)
+	if h.Name() != "histogram" {
+		t.Error("name")
+	}
+	// The histogram is coarse; check rank correlation rather than error:
+	// dense points should get larger estimates than sparse ones on average.
+	var denseEst, sparseEst, denseN, sparseN float64
+	for i := 0; i < 60; i++ {
+		q := pts[i*7]
+		truth := float64(exactCount(pts, q, 0.5))
+		est := h.Estimate(q, 0.5)
+		if truth > 100 {
+			denseEst += est
+			denseN++
+		} else if truth < 30 {
+			sparseEst += est
+			sparseN++
+		}
+	}
+	if denseN > 0 && sparseN > 0 && denseEst/denseN <= sparseEst/sparseN {
+		t.Errorf("histogram cannot separate dense (%v) from sparse (%v)",
+			denseEst/denseN, sparseEst/sparseN)
+	}
+}
+
+// Property: histogram estimates are monotone in the radius.
+func TestHistogramMonotoneInRadius(t *testing.T) {
+	pts := testPoints(200, 8)
+	rng := rand.New(rand.NewSource(9))
+	h := NewHistogram(pts, vecmath.CosineDistanceUnit, 10, 0.05, 2.0, rng)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := vecmath.RandomUnit(24, r)
+		r1 := r.Float64()
+		r2 := r1 + r.Float64()*(2-r1)
+		return h.Estimate(q, r1) <= h.Estimate(q, r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(nil, vecmath.CosineDistance, 0, 0.1, 2, rand.New(rand.NewSource(1)))
+}
+
+func TestConstantEstimator(t *testing.T) {
+	c := &ConstantEstimator{Value: 42}
+	if c.Estimate(nil, 0.5) != 42 {
+		t.Error("constant estimate wrong")
+	}
+	if c.Name() != "const(42)" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestBuildTrainingSet(t *testing.T) {
+	pts := testPoints(120, 10)
+	rng := rand.New(rand.NewSource(11))
+	radii := []float64{0.3, 0.6}
+	examples := BuildTrainingSet(pts, vecmath.CosineDistanceUnit, radii, 0, rng)
+	if len(examples) != 240 {
+		t.Fatalf("examples = %d, want 240", len(examples))
+	}
+	// Spot check counts against a direct scan.
+	for _, k := range []int{0, 33, 119} {
+		for ri, r := range radii {
+			ex := examples[k*2+ri]
+			if ex.Radius != r {
+				t.Fatalf("radius %v, want %v", ex.Radius, r)
+			}
+			if want := exactCount(pts, ex.Vector, r); ex.Count != want {
+				t.Fatalf("count %d, want %d", ex.Count, want)
+			}
+		}
+	}
+	// Counts are monotone in radius for the same query.
+	for k := 0; k < 120; k++ {
+		if examples[k*2].Count > examples[k*2+1].Count {
+			t.Fatal("training counts not monotone in radius")
+		}
+	}
+}
+
+func TestBuildTrainingSetSubsampled(t *testing.T) {
+	pts := testPoints(100, 12)
+	rng := rand.New(rand.NewSource(13))
+	examples := BuildTrainingSet(pts, vecmath.CosineDistanceUnit, DefaultRadii(), 10, rng)
+	if len(examples) != 90 {
+		t.Fatalf("examples = %d, want 90", len(examples))
+	}
+}
+
+func TestBuildTrainingSetPanicsOnNoRadii(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildTrainingSet(nil, vecmath.CosineDistance, nil, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestDefaultRadii(t *testing.T) {
+	r := DefaultRadii()
+	if len(r) != 9 || r[0] != 0.1 || r[8] != 0.9 {
+		t.Errorf("DefaultRadii = %v", r)
+	}
+}
+
+func TestRMIEstimatorEndToEnd(t *testing.T) {
+	pts := testPoints(300, 14)
+	rng := rand.New(rand.NewSource(15))
+	examples := BuildTrainingSet(pts, vecmath.CosineDistanceUnit, DefaultRadii(), 80, rng)
+	cfg := rmi.Config{
+		StageCounts: []int{1, 2, 4}, Hidden: []int{16, 8},
+		Epochs: 30, BatchSize: 64, LR: 5e-3, Seed: 1,
+	}
+	model, err := rmi.Train(examples, len(pts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewRMIEstimator(model, 1.0)
+	if e.Name() != "rmi" {
+		t.Error("name")
+	}
+	// The learned estimator must at least separate the densest points from
+	// isolated noise at the working radius.
+	var coreEst, noiseEst, coreN, noiseN float64
+	for i := 0; i < 100; i++ {
+		q := pts[i*3]
+		truth := exactCount(pts, q, 0.5)
+		est := e.Estimate(q, 0.5)
+		if truth >= 40 {
+			coreEst += est
+			coreN++
+		} else if truth <= 5 {
+			noiseEst += est
+			noiseN++
+		}
+	}
+	if coreN == 0 || noiseN == 0 {
+		t.Skip("dataset produced no clear core/noise split at this radius")
+	}
+	if coreEst/coreN <= noiseEst/noiseN {
+		t.Errorf("RMI cannot separate core (%v) from noise (%v)", coreEst/coreN, noiseEst/noiseN)
+	}
+}
+
+func TestRMIEstimatorScale(t *testing.T) {
+	pts := testPoints(150, 16)
+	rng := rand.New(rand.NewSource(17))
+	examples := BuildTrainingSet(pts, vecmath.CosineDistanceUnit, []float64{0.5}, 40, rng)
+	model, err := rmi.Train(examples, len(pts), rmi.Config{
+		StageCounts: []int{1, 2, 4}, Hidden: []int{8}, Epochs: 10, BatchSize: 32, LR: 5e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := NewRMIEstimator(model, 1.0)
+	e2 := NewRMIEstimator(model, 2.0)
+	q := pts[0]
+	a, b := e1.Estimate(q, 0.5), e2.Estimate(q, 0.5)
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Errorf("scaling broken: %v vs %v", a, b)
+	}
+}
+
+func TestRMIEstimatorConcurrent(t *testing.T) {
+	pts := testPoints(100, 18)
+	rng := rand.New(rand.NewSource(19))
+	examples := BuildTrainingSet(pts, vecmath.CosineDistanceUnit, []float64{0.5}, 30, rng)
+	model, err := rmi.Train(examples, len(pts), rmi.Config{
+		StageCounts: []int{1, 2}, Hidden: []int{8}, Epochs: 5, BatchSize: 16, LR: 5e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewRMIEstimator(model, 1.0)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				e.Estimate(pts[i%len(pts)], 0.5)
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

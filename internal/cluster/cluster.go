@@ -1,0 +1,71 @@
+// Package cluster implements the clustering algorithms of the paper's
+// evaluation: exact DBSCAN (the ground truth), the sampling-based DBSCAN++,
+// and the three approximate baselines KNN-BLOCK DBSCAN, BLOCK-DBSCAN and
+// ρ-approximate DBSCAN. The LAF-enhanced variants live in internal/core.
+//
+// All algorithms consume unit-normalized vectors and a cosine-distance
+// threshold Eps; baselines that natively need Euclidean distance (the cover
+// tree and the grid) convert thresholds with Equation 1 of the paper.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Label values. Cluster ids are positive integers starting at 1, matching
+// the paper's pseudocode (c starts at 0 and is pre-incremented).
+const (
+	// Noise marks noise points in the output labeling.
+	Noise = -1
+	// Undefined marks not-yet-visited points during clustering. It never
+	// appears in a finished Result.
+	Undefined = -2
+)
+
+// Result is the output of one clustering run.
+type Result struct {
+	// Algorithm names the method that produced the labeling.
+	Algorithm string
+	// Labels[i] is the cluster id of point i (>= 1), or Noise.
+	Labels []int
+	// NumClusters is the number of distinct cluster ids in Labels.
+	NumClusters int
+	// Elapsed is the wall-clock clustering time, including estimator
+	// prediction time and excluding estimator training time, matching the
+	// paper's efficiency metric.
+	Elapsed time.Duration
+	// RangeQueries counts full range queries executed against the dataset.
+	RangeQueries int
+	// SkippedQueries counts range queries LAF skipped via the estimator
+	// (always 0 for non-LAF methods).
+	SkippedQueries int
+	// PostMerges counts cluster merges applied by LAF post-processing.
+	PostMerges int
+}
+
+// Stats recomputes NumClusters from Labels; algorithms call it once before
+// returning.
+func (r *Result) finalize() {
+	ids := make(map[int]struct{})
+	for _, l := range r.Labels {
+		if l != Noise {
+			ids[l] = struct{}{}
+		}
+	}
+	r.NumClusters = len(ids)
+}
+
+// validateParams checks the shared (eps, tau) parameter domain.
+func validateParams(n int, eps float64, tau int) error {
+	if eps <= 0 {
+		return fmt.Errorf("cluster: eps must be positive, got %v", eps)
+	}
+	if tau < 1 {
+		return fmt.Errorf("cluster: tau must be at least 1, got %d", tau)
+	}
+	if n == 0 {
+		return fmt.Errorf("cluster: empty dataset")
+	}
+	return nil
+}

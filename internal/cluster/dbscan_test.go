@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lafdbscan/internal/dataset"
+	"lafdbscan/internal/metrics"
+)
+
+// run is a test helper for plain DBSCAN.
+func runDBSCAN(t *testing.T, points [][]float32, eps float64, tau int) *Result {
+	t.Helper()
+	res, err := (&DBSCAN{Points: points, Eps: eps, Tau: tau}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	d := dataset.TwoBlobs(12, 1)
+	res := runDBSCAN(t, d.Vectors, 0.3, 3)
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	// The 3 orthogonal noise points must be labeled noise.
+	noise := 0
+	for i, l := range res.Labels {
+		if l == Noise {
+			noise++
+			if d.TrueLabels[i] != -1 {
+				t.Errorf("blob point %d labeled noise", i)
+			}
+		}
+	}
+	if noise != 3 {
+		t.Errorf("noise count = %d, want 3", noise)
+	}
+	// Within each blob all labels must agree.
+	seen := map[int]int{}
+	for i, l := range res.Labels {
+		if l == Noise {
+			continue
+		}
+		truth := d.TrueLabels[i]
+		if prev, ok := seen[truth]; ok && prev != l {
+			t.Fatalf("blob %d split across clusters %d and %d", truth, prev, l)
+		}
+		seen[truth] = l
+	}
+}
+
+func TestDBSCANAgainstGroundTruthARI(t *testing.T) {
+	d := dataset.GenerateMixture("m", dataset.MixtureConfig{
+		N: 400, Dim: 48, Clusters: 6, MinSpread: 0.15, MaxSpread: 0.25,
+		NoiseFrac: 0.1, Seed: 11,
+	})
+	res := runDBSCAN(t, d.Vectors, 0.5, 4)
+	ari, err := metrics.ARI(d.TrueLabels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.9 {
+		t.Errorf("DBSCAN ARI vs generator truth = %v, want >= 0.9 on well-separated mixture", ari)
+	}
+}
+
+func TestDBSCANAllNoiseWhenTauHuge(t *testing.T) {
+	d := dataset.TwoBlobs(5, 2)
+	res := runDBSCAN(t, d.Vectors, 0.3, 1000)
+	for _, l := range res.Labels {
+		if l != Noise {
+			t.Fatal("expected everything noise")
+		}
+	}
+	if res.NumClusters != 0 {
+		t.Errorf("NumClusters = %d", res.NumClusters)
+	}
+}
+
+func TestDBSCANSingleClusterWhenEpsHuge(t *testing.T) {
+	d := dataset.TwoBlobs(5, 3)
+	res := runDBSCAN(t, d.Vectors, 2.1, 1) // eps > max cosine distance
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.NumClusters)
+	}
+	for _, l := range res.Labels {
+		if l != 1 {
+			t.Fatal("point not in the single cluster")
+		}
+	}
+}
+
+func TestDBSCANTauOneEveryPointCore(t *testing.T) {
+	// With tau=1 every point is core (it is its own neighbor), so no noise.
+	d := dataset.GloVeLike(80, 4)
+	res := runDBSCAN(t, d.Vectors, 0.4, 1)
+	for _, l := range res.Labels {
+		if l == Noise {
+			t.Fatal("tau=1 produced noise")
+		}
+	}
+}
+
+func TestDBSCANParamValidation(t *testing.T) {
+	pts := [][]float32{{1, 0}}
+	if _, err := (&DBSCAN{Points: pts, Eps: 0, Tau: 1}).Run(); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := (&DBSCAN{Points: pts, Eps: 0.5, Tau: 0}).Run(); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if _, err := (&DBSCAN{Points: nil, Eps: 0.5, Tau: 1}).Run(); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestDBSCANRangeQueryCount(t *testing.T) {
+	// Plain DBSCAN runs at most one range query per point, and exactly one
+	// per non-border point.
+	d := dataset.GloVeLike(120, 5)
+	res := runDBSCAN(t, d.Vectors, 0.5, 4)
+	if res.RangeQueries > 120 {
+		t.Errorf("RangeQueries = %d > n", res.RangeQueries)
+	}
+	if res.RangeQueries == 0 {
+		t.Error("no range queries recorded")
+	}
+	if res.SkippedQueries != 0 {
+		t.Error("plain DBSCAN cannot skip queries")
+	}
+}
+
+// Property: DBSCAN labelings are deterministic and every label is either
+// noise or in [1, NumClusters].
+func TestDBSCANLabelInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := dataset.GenerateMixture("p", dataset.MixtureConfig{
+			N: 60 + r.Intn(60), Dim: 16, Clusters: 4,
+			NoiseFrac: 0.2, Seed: seed,
+		})
+		eps := 0.3 + r.Float64()*0.5
+		tau := 2 + r.Intn(4)
+		res1, err := (&DBSCAN{Points: d.Vectors, Eps: eps, Tau: tau}).Run()
+		if err != nil {
+			return false
+		}
+		res2, err := (&DBSCAN{Points: d.Vectors, Eps: eps, Tau: tau}).Run()
+		if err != nil {
+			return false
+		}
+		for i, l := range res1.Labels {
+			if l != res2.Labels[i] {
+				return false
+			}
+			if l != Noise && (l < 1 || l > res1.NumClusters) {
+				return false
+			}
+			if l == Undefined {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Core-point invariant: every point with >= tau neighbors must be in a
+// cluster, and every cluster contains at least one core point.
+func TestDBSCANCorePointInvariants(t *testing.T) {
+	d := dataset.GenerateMixture("c", dataset.MixtureConfig{
+		N: 250, Dim: 24, Clusters: 5, NoiseFrac: 0.25, Seed: 21,
+	})
+	eps, tau := 0.5, 4
+	res := runDBSCAN(t, d.Vectors, eps, tau)
+	countNeighbors := func(i int) int {
+		c := 0
+		for j := range d.Vectors {
+			if cosDist(d.Vectors[i], d.Vectors[j]) < eps {
+				c++
+			}
+		}
+		return c
+	}
+	clusterHasCore := map[int]bool{}
+	for i := range d.Vectors {
+		isCore := countNeighbors(i) >= tau
+		if isCore {
+			if res.Labels[i] == Noise {
+				t.Fatalf("core point %d labeled noise", i)
+			}
+			clusterHasCore[res.Labels[i]] = true
+		}
+	}
+	for c := 1; c <= res.NumClusters; c++ {
+		if !clusterHasCore[c] {
+			t.Errorf("cluster %d has no core point", c)
+		}
+	}
+}
+
+func cosDist(a, b []float32) float64 {
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return 1 - dot
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lafdbscan/internal/index"
+	"lafdbscan/internal/vecmath"
+)
+
+// DBSCANPP is DBSCAN++ (Jang & Jiang 2018): a sampling-based DBSCAN variant
+// that restricts the expensive core-point detection to a uniform subset of
+// fraction P of the data. Core points among the subset are detected with
+// range queries against the entire dataset; clusters grow over the
+// ε-connectivity graph of the sampled core points; every remaining point
+// joins the cluster of its closest sampled core point when within ε of it,
+// and is noise otherwise.
+type DBSCANPP struct {
+	Points [][]float32
+	Eps    float64
+	Tau    int
+	// P is the sample fraction in (0, 1]. The paper sets p = δ + Rc where
+	// Rc is the estimator-predicted core ratio and δ is a user offset in
+	// 0.1–0.3; see core.PredictedCoreRatio.
+	P float64
+	// Seed drives the uniform sample.
+	Seed int64
+	// Index optionally overrides the full-dataset range-query engine.
+	Index index.RangeSearcher
+}
+
+// Run clusters the points.
+func (d *DBSCANPP) Run() (*Result, error) {
+	n := len(d.Points)
+	if err := validateParams(n, d.Eps, d.Tau); err != nil {
+		return nil, err
+	}
+	if d.P <= 0 || d.P > 1 {
+		return nil, fmt.Errorf("cluster: DBSCAN++ sample fraction %v out of (0, 1]", d.P)
+	}
+	idx := d.Index
+	if idx == nil {
+		idx = index.NewBruteForce(d.Points, vecmath.CosineDistanceUnit)
+	}
+	start := time.Now()
+	res := &Result{Algorithm: "DBSCAN++", Labels: make([]int, n)}
+
+	rng := rand.New(rand.NewSource(d.Seed))
+	m := int(float64(n) * d.P)
+	if m < 1 {
+		m = 1
+	}
+	sample := rng.Perm(n)[:m]
+
+	// Detect core points within the sample, w.r.t. the whole dataset.
+	cores := make([]int, 0, m)
+	coreNeighbors := make(map[int][]int, m)
+	for _, s := range sample {
+		neighbors := idx.RangeSearch(d.Points[s], d.Eps)
+		res.RangeQueries++
+		if len(neighbors) >= d.Tau {
+			cores = append(cores, s)
+			coreNeighbors[s] = neighbors
+		}
+	}
+
+	labels := ClusterCoresAndAssign(d.Points, d.Eps, cores, coreNeighbors)
+	res.Labels = labels
+	res.Elapsed = time.Since(start)
+	res.finalize()
+	return res, nil
+}
+
+// ClusterCoresAndAssign is the shared tail of DBSCAN++ and LAF-DBSCAN++:
+// build clusters as connected components of the sampled core points under
+// ε-connectivity (two cores connect when either contains the other in its
+// neighbor list), then assign every unlabeled point to the cluster of its
+// closest core point when within ε.
+func ClusterCoresAndAssign(points [][]float32, eps float64, cores []int, coreNeighbors map[int][]int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Undefined
+	}
+	isCore := make(map[int]bool, len(cores))
+	for _, c := range cores {
+		isCore[c] = true
+	}
+	// Connected components via union-find: a core's neighbor list already
+	// contains every core within ε of it, so unioning along neighbor lists
+	// builds the ε-graph without extra distance work.
+	uf := NewUnionFind()
+	for _, c := range cores {
+		uf.Find(c)
+		for _, q := range coreNeighbors[c] {
+			if isCore[q] {
+				uf.Union(c, q)
+			}
+		}
+	}
+	clusterID := make(map[int]int)
+	next := 0
+	for _, c := range cores {
+		root := uf.Find(c)
+		id, ok := clusterID[root]
+		if !ok {
+			next++
+			id = next
+			clusterID[root] = id
+		}
+		labels[c] = id
+	}
+	// Assign all remaining points to the closest core point within eps.
+	for i := 0; i < n; i++ {
+		if labels[i] != Undefined {
+			continue
+		}
+		best, bestD := -1, eps
+		for _, c := range cores {
+			if d := vecmath.CosineDistanceUnit(points[i], points[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best >= 0 {
+			labels[i] = labels[best]
+		} else {
+			labels[i] = Noise
+		}
+	}
+	return labels
+}

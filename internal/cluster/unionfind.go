@@ -1,0 +1,47 @@
+package cluster
+
+// UnionFind is a disjoint-set forest over sparse integer keys (cluster ids
+// or point ids), with path compression and union by size. LAF
+// post-processing and the block-merging stages use it.
+type UnionFind struct {
+	parent map[int]int
+	size   map[int]int
+}
+
+// NewUnionFind returns an empty forest; keys are added lazily.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{parent: make(map[int]int), size: make(map[int]int)}
+}
+
+// Find returns the representative of x, adding x as a singleton if new.
+func (u *UnionFind) Find(x int) int {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		u.size[x] = 1
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.Find(p)
+	u.parent[x] = root
+	return root
+}
+
+// Union merges the sets of a and b and returns the surviving root.
+func (u *UnionFind) Union(a, b int) int {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return ra
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }

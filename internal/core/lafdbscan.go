@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"lafdbscan/internal/cluster"
+	"lafdbscan/internal/index"
+	"lafdbscan/internal/vecmath"
+)
+
+// LAFDBSCAN is Algorithm 1 of the paper: DBSCAN with LAF's cardinality-
+// estimation gate before every range query and the post-processing repair
+// pass at the end.
+type LAFDBSCAN struct {
+	Points [][]float32
+	Config Config
+	// Index optionally overrides the range-query engine (default: parallel
+	// brute force under the unit-cosine metric).
+	Index index.RangeSearcher
+}
+
+// Run clusters the points.
+func (l *LAFDBSCAN) Run() (*cluster.Result, error) {
+	n := len(l.Points)
+	if err := l.Config.validate(n); err != nil {
+		return nil, err
+	}
+	idx := l.Index
+	if idx == nil {
+		dist := vecmath.CosineDistanceUnit
+		if l.Config.Metric != vecmath.Cosine {
+			dist = l.Config.Metric.Func()
+		}
+		idx = index.NewBruteForce(l.Points, dist)
+	}
+	cfg := l.Config
+	threshold := cfg.Alpha * float64(cfg.Tau)
+	est := cfg.Estimator
+
+	start := time.Now()
+	res := &cluster.Result{Algorithm: "LAF-DBSCAN", Labels: make([]int, n)}
+	labels := res.Labels
+	for i := range labels {
+		labels[i] = cluster.Undefined
+	}
+	e := make(PartialNeighbors)
+	c := 0
+	inSeed := make([]bool, n)
+	for p := 0; p < n; p++ {
+		if labels[p] != cluster.Undefined {
+			continue
+		}
+		// LAF gate (lines 6-9): skip the range query for predicted stop
+		// points, remembering them in E for post-processing.
+		if est.Estimate(l.Points[p], cfg.Eps) < threshold {
+			labels[p] = cluster.Noise
+			e.Ensure(p)
+			res.SkippedQueries++
+			continue
+		}
+		neighbors := idx.RangeSearch(l.Points[p], cfg.Eps)
+		res.RangeQueries++
+		e.Update(p, neighbors)
+		if len(neighbors) < cfg.Tau {
+			labels[p] = cluster.Noise
+			continue
+		}
+		c++
+		labels[p] = c
+		clear(inSeed)
+		seeds := make([]int, 0, len(neighbors))
+		for _, q := range neighbors {
+			if q != p {
+				seeds = append(seeds, q)
+				inSeed[q] = true
+			}
+		}
+		for k := 0; k < len(seeds); k++ {
+			q := seeds[k]
+			if labels[q] == cluster.Noise {
+				labels[q] = c // border point
+			}
+			if labels[q] != cluster.Undefined {
+				continue
+			}
+			labels[q] = c
+			// LAF gate on the expansion query (lines 22-27).
+			if est.Estimate(l.Points[q], cfg.Eps) >= threshold {
+				qn := idx.RangeSearch(l.Points[q], cfg.Eps)
+				res.RangeQueries++
+				e.Update(q, qn)
+				if len(qn) >= cfg.Tau {
+					for _, r := range qn {
+						if !inSeed[r] {
+							seeds = append(seeds, r)
+							inSeed[r] = true
+						}
+					}
+				}
+			} else {
+				e.Ensure(q)
+				res.SkippedQueries++
+			}
+		}
+	}
+	if !cfg.DisablePostProcessing {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		res.PostMerges = PostProcess(labels, e, cfg.Tau, rng)
+	}
+	res.Elapsed = time.Since(start)
+	finalize(res)
+	return res, nil
+}
+
+// finalize canonicalizes cluster ids to 1..k and recounts clusters.
+// Post-processing leaves union-find roots as ids; renumbering keeps reports
+// tidy and metric computation unaffected.
+func finalize(res *cluster.Result) {
+	remap := make(map[int]int)
+	next := 0
+	for i, l := range res.Labels {
+		if l == cluster.Noise {
+			continue
+		}
+		id, ok := remap[l]
+		if !ok {
+			next++
+			id = next
+			remap[l] = id
+		}
+		res.Labels[i] = id
+	}
+	res.NumClusters = next
+}

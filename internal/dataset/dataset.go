@@ -1,0 +1,114 @@
+// Package dataset provides the vector dataset container used throughout the
+// repository and synthetic generators that stand in for the paper's three
+// corpus families (NYTimes bag-of-words, GloVe word embeddings and MS MARCO
+// passage embeddings). The generators reproduce the statistical properties
+// the clustering algorithms are sensitive to — unit-norm vectors, bounded
+// angular distances, high-density cores separated by sparse regions,
+// heavy-tailed cluster sizes and a tunable noise floor — without requiring
+// the original corpora or a GPU encoder (see DESIGN.md, Substitutions).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lafdbscan/internal/vecmath"
+)
+
+// Dataset is an immutable-by-convention collection of dense vectors plus
+// optional generator-side ground-truth component labels (-1 for points drawn
+// from the noise floor). The clustering experiments never read TrueLabels;
+// they use exact DBSCAN output as ground truth, exactly as the paper does.
+type Dataset struct {
+	// Name identifies the dataset in reports, e.g. "MS-like-4k".
+	Name string
+	// Vectors holds one row per point. All rows share the same dimension.
+	Vectors [][]float32
+	// TrueLabels optionally records the generating mixture component per
+	// point; len(TrueLabels) is either 0 or len(Vectors).
+	TrueLabels []int
+}
+
+// Len returns the number of points.
+func (d *Dataset) Len() int { return len(d.Vectors) }
+
+// Dim returns the vector dimension, or 0 for an empty dataset.
+func (d *Dataset) Dim() int {
+	if len(d.Vectors) == 0 {
+		return 0
+	}
+	return len(d.Vectors[0])
+}
+
+// Validate checks structural invariants: consistent dimensions and label
+// length. It returns a descriptive error rather than panicking so callers
+// loading untrusted files can surface the problem.
+func (d *Dataset) Validate() error {
+	dim := d.Dim()
+	for i, v := range d.Vectors {
+		if len(v) != dim {
+			return fmt.Errorf("dataset %q: vector %d has dimension %d, want %d", d.Name, i, len(v), dim)
+		}
+	}
+	if len(d.TrueLabels) != 0 && len(d.TrueLabels) != len(d.Vectors) {
+		return fmt.Errorf("dataset %q: %d labels for %d vectors", d.Name, len(d.TrueLabels), len(d.Vectors))
+	}
+	return nil
+}
+
+// Normalize scales every vector to unit norm in place, matching the paper's
+// preprocessing ("we normalize all the data vectors").
+func (d *Dataset) Normalize() {
+	for _, v := range d.Vectors {
+		vecmath.Normalize(v)
+	}
+}
+
+// IsNormalized reports whether every vector has unit norm within tol.
+func (d *Dataset) IsNormalized(tol float64) bool {
+	for _, v := range d.Vectors {
+		if !vecmath.IsUnit(v, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset returns a new dataset containing the rows at the given indices.
+// Vectors are shared, not copied.
+func (d *Dataset) Subset(name string, indices []int) *Dataset {
+	out := &Dataset{Name: name, Vectors: make([][]float32, len(indices))}
+	if len(d.TrueLabels) > 0 {
+		out.TrueLabels = make([]int, len(indices))
+	}
+	for i, idx := range indices {
+		out.Vectors[i] = d.Vectors[idx]
+		if len(d.TrueLabels) > 0 {
+			out.TrueLabels[i] = d.TrueLabels[idx]
+		}
+	}
+	return out
+}
+
+// Sample returns a uniform sample (without replacement) of n rows.
+func (d *Dataset) Sample(name string, n int, rng *rand.Rand) *Dataset {
+	if n > d.Len() {
+		n = d.Len()
+	}
+	perm := rng.Perm(d.Len())[:n]
+	return d.Subset(name, perm)
+}
+
+// Split partitions the dataset into train and test subsets with the given
+// train fraction (the paper uses 8:2). The split is a random permutation
+// under rng, so repeated calls with the same seed are reproducible.
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test *Dataset) {
+	if trainFrac < 0 || trainFrac > 1 {
+		panic(fmt.Sprintf("dataset: train fraction %v out of [0,1]", trainFrac))
+	}
+	perm := rng.Perm(d.Len())
+	cut := int(float64(d.Len()) * trainFrac)
+	train = d.Subset(d.Name+"-train", perm[:cut])
+	test = d.Subset(d.Name+"-test", perm[cut:])
+	return train, test
+}

@@ -1,0 +1,330 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"lafdbscan/internal/vecmath"
+)
+
+func TestValidate(t *testing.T) {
+	d := &Dataset{Name: "x", Vectors: [][]float32{{1, 0}, {0, 1}}}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	d.Vectors = append(d.Vectors, []float32{1})
+	if err := d.Validate(); err == nil {
+		t.Fatal("ragged dataset accepted")
+	}
+	d.Vectors = d.Vectors[:2]
+	d.TrueLabels = []int{0}
+	if err := d.Validate(); err == nil {
+		t.Fatal("bad label length accepted")
+	}
+}
+
+func TestLenDim(t *testing.T) {
+	var empty Dataset
+	if empty.Len() != 0 || empty.Dim() != 0 {
+		t.Error("empty dataset has nonzero shape")
+	}
+	d := &Dataset{Vectors: [][]float32{{1, 2, 3}}}
+	if d.Len() != 1 || d.Dim() != 3 {
+		t.Errorf("Len/Dim = %d/%d", d.Len(), d.Dim())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := &Dataset{Vectors: [][]float32{{3, 4}, {0, 2}}}
+	if d.IsNormalized(1e-6) {
+		t.Fatal("unnormalized dataset reported normalized")
+	}
+	d.Normalize()
+	if !d.IsNormalized(1e-6) {
+		t.Fatal("Normalize did not normalize")
+	}
+}
+
+func TestSubsetAndSample(t *testing.T) {
+	d := &Dataset{
+		Name:       "base",
+		Vectors:    [][]float32{{1}, {2}, {3}, {4}},
+		TrueLabels: []int{0, 1, 2, 3},
+	}
+	s := d.Subset("sub", []int{3, 1})
+	if s.Len() != 2 || s.Vectors[0][0] != 4 || s.TrueLabels[1] != 1 {
+		t.Errorf("Subset wrong: %+v", s)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sm := d.Sample("s", 10, rng)
+	if sm.Len() != 4 {
+		t.Errorf("Sample capped incorrectly: %d", sm.Len())
+	}
+}
+
+func TestSplitDisjointCover(t *testing.T) {
+	d := GloVeLike(200, 5)
+	rng := rand.New(rand.NewSource(9))
+	train, test := d.Split(0.8, rng)
+	if train.Len()+test.Len() != d.Len() {
+		t.Fatalf("split sizes %d+%d != %d", train.Len(), test.Len(), d.Len())
+	}
+	if train.Len() != 160 {
+		t.Errorf("train size %d, want 160", train.Len())
+	}
+	seen := make(map[*float32]bool)
+	for _, v := range train.Vectors {
+		seen[&v[0]] = true
+	}
+	for _, v := range test.Vectors {
+		if seen[&v[0]] {
+			t.Fatal("train and test share a row")
+		}
+	}
+}
+
+func TestSplitPanicsOnBadFraction(t *testing.T) {
+	d := TwoBlobs(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Split(1.5, rand.New(rand.NewSource(1)))
+}
+
+func TestGenerateMixtureShape(t *testing.T) {
+	d := GenerateMixture("m", MixtureConfig{N: 500, Dim: 32, Clusters: 7, NoiseFrac: 0.2, SizeSkew: 1, Seed: 42})
+	if d.Len() != 500 || d.Dim() != 32 {
+		t.Fatalf("shape %dx%d", d.Len(), d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsNormalized(1e-5) {
+		t.Fatal("mixture not normalized")
+	}
+	noise := 0
+	labels := make(map[int]bool)
+	for _, l := range d.TrueLabels {
+		if l == -1 {
+			noise++
+		} else {
+			labels[l] = true
+		}
+	}
+	if noise != 100 {
+		t.Errorf("noise count %d, want 100", noise)
+	}
+	if len(labels) != 7 {
+		t.Errorf("distinct clusters %d, want 7", len(labels))
+	}
+}
+
+func TestGenerateMixtureDeterministic(t *testing.T) {
+	a := GenerateMixture("a", MixtureConfig{N: 100, Dim: 8, Clusters: 3, Seed: 7})
+	b := GenerateMixture("b", MixtureConfig{N: 100, Dim: 8, Clusters: 3, Seed: 7})
+	for i := range a.Vectors {
+		for j := range a.Vectors[i] {
+			if a.Vectors[i][j] != b.Vectors[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+}
+
+func TestClusterSizesSumAndPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := 50 + r.Intn(500)
+		k := 1 + r.Intn(20)
+		sizes := clusterSizes(total, k, 1.2, r)
+		sum := 0
+		for _, s := range sizes {
+			if s < 1 {
+				return false
+			}
+			sum += s
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterSizesMoreClustersThanPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sizes := clusterSizes(3, 10, 1, r)
+	if len(sizes) != 3 {
+		t.Errorf("got %d clusters for 3 points", len(sizes))
+	}
+}
+
+func TestMixtureClusterGeometry(t *testing.T) {
+	// Points of the same tight component must be much closer than points of
+	// different components.
+	d := GenerateMixture("g", MixtureConfig{
+		N: 300, Dim: 64, Clusters: 5, MinSpread: 0.2, MaxSpread: 0.3, Seed: 3,
+	})
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < d.Len(); i += 3 {
+		for j := i + 1; j < d.Len(); j += 7 {
+			dist := vecmath.CosineDistanceUnit(d.Vectors[i], d.Vectors[j])
+			if d.TrueLabels[i] == d.TrueLabels[j] {
+				intra += dist
+				nIntra++
+			} else {
+				inter += dist
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Skip("sampling missed a pair class")
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Errorf("intra %v >= inter %v", intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestFamilyGenerators(t *testing.T) {
+	for _, d := range []*Dataset{GloVeLike(150, 1), MSLike(150, 1), NYTLike(NYTLikeConfig{N: 150, Seed: 1, NoiseFrac: 0.1})} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if d.Len() != 150 {
+			t.Errorf("%s: len %d", d.Name, d.Len())
+		}
+		if !d.IsNormalized(1e-4) {
+			t.Errorf("%s: not normalized", d.Name)
+		}
+	}
+	if GloVeLike(150, 1).Dim() != 200 {
+		t.Error("GloVeLike dim")
+	}
+	if MSLike(150, 1).Dim() != 768 {
+		t.Error("MSLike dim")
+	}
+	if NYTLike(NYTLikeConfig{N: 10, Seed: 1}).Dim() != 256 {
+		t.Error("NYTLike dim")
+	}
+}
+
+func TestNYTLikeTopicsAreClustered(t *testing.T) {
+	d := NYTLike(NYTLikeConfig{N: 200, Topics: 4, Seed: 2})
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < d.Len(); i += 2 {
+		for j := i + 1; j < d.Len(); j += 5 {
+			dist := vecmath.CosineDistanceUnit(d.Vectors[i], d.Vectors[j])
+			if d.TrueLabels[i] == d.TrueLabels[j] && d.TrueLabels[i] >= 0 {
+				intra += dist
+				nIntra++
+			} else if d.TrueLabels[i] != d.TrueLabels[j] {
+				inter += dist
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Skip("sampling missed a pair class")
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Errorf("NYT topics not separated: intra %v inter %v", intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[int]string{500: "500", 1000: "1k", 1500: "1.5k", 150000: "150k"}
+	for n, want := range cases {
+		if got := humanCount(n); got != want {
+			t.Errorf("humanCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTwoBlobs(t *testing.T) {
+	d := TwoBlobs(10, 1)
+	if d.Len() != 23 {
+		t.Fatalf("TwoBlobs len %d, want 23", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	d := GloVeLike(50, 3)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Len() != d.Len() || got.Dim() != d.Dim() {
+		t.Fatalf("round trip shape mismatch: %s %dx%d", got.Name, got.Len(), got.Dim())
+	}
+	for i := range d.Vectors {
+		if got.TrueLabels[i] != d.TrueLabels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range d.Vectors[i] {
+			if got.Vectors[i][j] != d.Vectors[i][j] {
+				t.Fatalf("vector (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripIONoLabels(t *testing.T) {
+	d := &Dataset{Name: "nl", Vectors: [][]float32{{1, 2}, {3, 4}}}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.TrueLabels) != 0 {
+		t.Error("labels materialized from nothing")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a dataset file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// correct magic, bad version
+	if _, err := Read(bytes.NewReader([]byte{'L', 'A', 'F', 'D', 9, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := TwoBlobs(5, 9)
+	path := filepath.Join(t.TempDir(), "blobs.lafd")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("loaded %d points, want %d", got.Len(), d.Len())
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.lafd")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary file layout (little endian):
+//
+//	magic   [4]byte  "LAFD"
+//	version uint32   currently 1
+//	nameLen uint32, name bytes
+//	n       uint32, dim uint32
+//	hasLabels uint8
+//	vectors n*dim float32
+//	labels  n int32 (if hasLabels)
+//
+// The format is deliberately simple: the datasets are synthetic and
+// regenerable, the file is just a cache so experiments across processes see
+// identical data.
+
+var magic = [4]byte{'L', 'A', 'F', 'D'}
+
+const formatVersion = 1
+
+// Write serializes the dataset to w.
+func (d *Dataset) Write(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	name := []byte(d.Name)
+	for _, v := range []uint32{formatVersion, uint32(len(name))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	hasLabels := uint8(0)
+	if len(d.TrueLabels) > 0 {
+		hasLabels = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(d.Len())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(d.Dim())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hasLabels); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, vec := range d.Vectors {
+		for _, x := range vec {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(x))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	if hasLabels == 1 {
+		for _, l := range d.TrueLabels {
+			binary.LittleEndian.PutUint32(buf, uint32(int32(l)))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a dataset from r.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q", m)
+	}
+	var version, nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("dataset: unsupported format version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var n, dim uint32
+	var hasLabels uint8
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hasLabels); err != nil {
+		return nil, err
+	}
+	if uint64(n)*uint64(dim) > 1<<34 {
+		return nil, fmt.Errorf("dataset: implausible size %d x %d", n, dim)
+	}
+	d := &Dataset{Name: string(name), Vectors: make([][]float32, n)}
+	flat := make([]float32, int(n)*int(dim))
+	buf := make([]byte, 4)
+	for i := range flat {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: reading vectors: %w", err)
+		}
+		flat[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	for i := range d.Vectors {
+		d.Vectors[i] = flat[i*int(dim) : (i+1)*int(dim) : (i+1)*int(dim)]
+	}
+	if hasLabels == 1 {
+		d.TrueLabels = make([]int, n)
+		for i := range d.TrueLabels {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("dataset: reading labels: %w", err)
+			}
+			d.TrueLabels[i] = int(int32(binary.LittleEndian.Uint32(buf)))
+		}
+	}
+	return d, d.Validate()
+}
+
+// Save writes the dataset to a file.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from a file.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,354 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lafdbscan/internal/vecmath"
+)
+
+// MixtureConfig describes a spherical Gaussian-mixture embedding generator.
+// Points are drawn around random unit centers and renormalized, so all
+// pairwise similarities live in the bounded angular range the paper targets.
+type MixtureConfig struct {
+	// N is the total number of points, including noise.
+	N int
+	// Dim is the vector dimension.
+	Dim int
+	// Clusters is the number of mixture components.
+	Clusters int
+	// MinSpread and MaxSpread bound the per-cluster spread parameter
+	// s = dim * sigma^2. The expected intra-cluster cosine distance between
+	// two members is roughly s / (1 + s), so s ~ 0.7 yields pair distances
+	// near 0.4, straddling the paper's epsilon range of 0.5-0.6.
+	MinSpread, MaxSpread float64
+	// NoiseFrac is the fraction of points drawn uniformly on the sphere.
+	// In high dimensions such points are nearly orthogonal to everything
+	// (cosine distance ~ 1), so they act as DBSCAN noise at any epsilon in
+	// the paper's working range.
+	NoiseFrac float64
+	// HaloFrac is the fraction of points drawn as sparse halos around the
+	// cluster centers (spread several times MaxSpread). Halo points sit at
+	// intermediate distances: noise at small epsilon, absorbed — and
+	// cluster-bridging — as epsilon grows. This reproduces the percolation
+	// behaviour of the paper's Table 2, where raising epsilon from 0.5 to
+	// 0.7 collapses the corpus into a single cluster with near-zero noise.
+	HaloFrac float64
+	// SizeSkew controls the power-law skew of cluster sizes. 0 means equal
+	// sizes; larger values produce a few dominant clusters plus a long tail
+	// of tiny ones, which is what makes the paper's fully-missed-cluster
+	// analysis (Table 6) meaningful.
+	SizeSkew float64
+	// EffectiveDim, when in (0, Dim), generates all structure in an
+	// EffectiveDim-dimensional random subspace embedded into the ambient
+	// space. Real neural embeddings famously occupy a low-dimensional
+	// manifold inside their nominal dimension; reproducing that is what
+	// lets halo points percolate between clusters as epsilon grows (the
+	// Table 2 collapse) — in a truly isotropic 768-d sphere no midpoints
+	// exist. 0 disables the embedding (fully isotropic generation).
+	EffectiveDim int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// GenerateMixture draws a dataset from the config. The result is normalized
+// and carries ground-truth component labels (-1 for noise points).
+func GenerateMixture(name string, cfg MixtureConfig) *Dataset {
+	if cfg.N <= 0 || cfg.Dim <= 0 || cfg.Clusters <= 0 {
+		panic(fmt.Sprintf("dataset: invalid mixture config %+v", cfg))
+	}
+	if cfg.MinSpread <= 0 {
+		cfg.MinSpread = 0.3
+	}
+	if cfg.MaxSpread < cfg.MinSpread {
+		cfg.MaxSpread = cfg.MinSpread
+	}
+	if cfg.NoiseFrac < 0 || cfg.NoiseFrac >= 1 {
+		panic(fmt.Sprintf("dataset: noise fraction %v out of [0,1)", cfg.NoiseFrac))
+	}
+	if cfg.HaloFrac < 0 || cfg.NoiseFrac+cfg.HaloFrac >= 1 {
+		panic(fmt.Sprintf("dataset: noise %v + halo %v out of [0,1)", cfg.NoiseFrac, cfg.HaloFrac))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	genDim := cfg.Dim
+	var basis [][]float32
+	if cfg.EffectiveDim > 0 && cfg.EffectiveDim < cfg.Dim {
+		genDim = cfg.EffectiveDim
+		basis = orthonormalBasis(genDim, cfg.Dim, rng)
+	}
+
+	numNoise := int(float64(cfg.N) * cfg.NoiseFrac)
+	numHalo := int(float64(cfg.N) * cfg.HaloFrac)
+	numClustered := cfg.N - numNoise - numHalo
+	sizes := clusterSizes(numClustered, cfg.Clusters, cfg.SizeSkew, rng)
+
+	d := &Dataset{
+		Name:       name,
+		Vectors:    make([][]float32, 0, cfg.N),
+		TrueLabels: make([]int, 0, cfg.N),
+	}
+	emit := func(v []float32, label int) {
+		if basis != nil {
+			v = embed(v, basis)
+		}
+		d.Vectors = append(d.Vectors, v)
+		d.TrueLabels = append(d.TrueLabels, label)
+	}
+	centers := make([][]float32, len(sizes))
+	for k, size := range sizes {
+		centers[k] = vecmath.RandomUnit(genDim, rng)
+		// Square-of-uniform shaping skews cluster spreads toward the tight
+		// end, giving the corpus a mix of compact duplicate-style groups
+		// (which the blocking baselines can exploit) and loose topical
+		// clusters — the texture of real embedding corpora.
+		u := rng.Float64()
+		spread := cfg.MinSpread + u*u*(cfg.MaxSpread-cfg.MinSpread)
+		sigma := math.Sqrt(spread / float64(genDim))
+		for i := 0; i < size; i++ {
+			emit(vecmath.PerturbOnSphere(centers[k], sigma, rng), k)
+		}
+	}
+	for i := 0; i < numHalo; i++ {
+		center := centers[rng.Intn(len(centers))]
+		// Spread 2x-8x the cluster maximum: far enough to be noise at the
+		// paper's small epsilons, close enough to bridge as epsilon grows.
+		spread := cfg.MaxSpread * (2 + 6*rng.Float64())
+		sigma := math.Sqrt(spread / float64(genDim))
+		emit(vecmath.PerturbOnSphere(center, sigma, rng), -1)
+	}
+	for i := 0; i < numNoise; i++ {
+		emit(vecmath.RandomUnit(genDim, rng), -1)
+	}
+	shuffle(d, rng)
+	return d
+}
+
+// orthonormalBasis returns k orthonormal vectors of the given dimension
+// (Gram-Schmidt over Gaussian samples). Embedding through it preserves all
+// pairwise inner products, so the generated geometry carries over exactly.
+func orthonormalBasis(k, dim int, rng *rand.Rand) [][]float32 {
+	basis := make([][]float32, k)
+	for i := range basis {
+		v := vecmath.RandomGaussian(dim, 0, 1, rng)
+		for _, prev := range basis[:i] {
+			proj := float32(vecmath.Dot(v, prev))
+			vecmath.AXPY(-proj, prev, v)
+		}
+		basis[i] = vecmath.Normalize(v)
+	}
+	return basis
+}
+
+// embed maps a genDim-vector into the ambient space spanned by basis.
+func embed(z []float32, basis [][]float32) []float32 {
+	out := make([]float32, len(basis[0]))
+	for i, zi := range z {
+		vecmath.AXPY(zi, basis[i], out)
+	}
+	return out
+}
+
+// clusterSizes splits total points into k sizes following a power-law with
+// the given skew. Every cluster receives at least one point.
+func clusterSizes(total, k int, skew float64, rng *rand.Rand) []int {
+	if k > total {
+		k = total
+	}
+	weights := make([]float64, k)
+	var sum float64
+	for i := range weights {
+		// rank-based power law: weight ~ 1 / (rank+1)^skew, jittered so
+		// repeated generations are not identical across seeds.
+		w := 1 / math.Pow(float64(i+1), skew)
+		w *= 0.5 + rng.Float64()
+		weights[i] = w
+		sum += w
+	}
+	sizes := make([]int, k)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = 1 + int(float64(total-k)*weights[i]/sum)
+		assigned += sizes[i]
+	}
+	// Distribute rounding remainder (positive or negative) over the largest
+	// clusters.
+	for assigned < total {
+		sizes[0]++
+		assigned++
+	}
+	for i := 0; assigned > total && i < len(sizes); i = (i + 1) % len(sizes) {
+		if sizes[i] > 1 {
+			sizes[i]--
+			assigned--
+		}
+	}
+	return sizes
+}
+
+func shuffle(d *Dataset, rng *rand.Rand) {
+	rng.Shuffle(len(d.Vectors), func(i, j int) {
+		d.Vectors[i], d.Vectors[j] = d.Vectors[j], d.Vectors[i]
+		if len(d.TrueLabels) > 0 {
+			d.TrueLabels[i], d.TrueLabels[j] = d.TrueLabels[j], d.TrueLabels[i]
+		}
+	})
+}
+
+// GloVeLike generates a dataset mirroring the Glove-150k family: 200-dim
+// word-embedding-style vectors, many medium clusters, moderate noise.
+func GloVeLike(n int, seed int64) *Dataset {
+	return GenerateMixture(fmt.Sprintf("GloVe-like-%s", humanCount(n)), MixtureConfig{
+		N: n, Dim: 200, Clusters: clusterCountFor(n, 60),
+		MinSpread: 0.08, MaxSpread: 1.0,
+		NoiseFrac: 0.15, HaloFrac: 0.25, SizeSkew: 1.1,
+		EffectiveDim: 48, Seed: seed,
+	})
+}
+
+// MSLike generates a dataset mirroring the MS MARCO passage-embedding
+// family: 768-dim vectors with a more complex distribution (wider spreads,
+// more components, more noise), which is what degrades every method on
+// MS-150k in the paper.
+func MSLike(n int, seed int64) *Dataset {
+	return GenerateMixture(fmt.Sprintf("MS-like-%s", humanCount(n)), MixtureConfig{
+		N: n, Dim: 768, Clusters: clusterCountFor(n, 90),
+		MinSpread: 0.08, MaxSpread: 1.2,
+		NoiseFrac: 0.15, HaloFrac: 0.25, SizeSkew: 1.3,
+		EffectiveDim: 64, Seed: seed,
+	})
+}
+
+// NYTLikeConfig controls the bag-of-words generator.
+type NYTLikeConfig struct {
+	N         int
+	Vocab     int // vocabulary size before projection
+	Topics    int // latent topics = expected clusters
+	DocLen    int // tokens per document
+	OutDim    int // projected dimension (paper: 256)
+	NoiseFrac float64
+	Seed      int64
+}
+
+// NYTLike generates a dataset mirroring NYT-150k: sparse topic-model
+// bag-of-words count vectors, Gaussian-random-projected to OutDim (the
+// ANN-benchmark preprocessing the paper follows) and normalized.
+func NYTLike(cfg NYTLikeConfig) *Dataset {
+	if cfg.N <= 0 {
+		panic("dataset: NYTLike needs N > 0")
+	}
+	if cfg.Vocab == 0 {
+		cfg.Vocab = 2000
+	}
+	if cfg.Topics == 0 {
+		cfg.Topics = clusterCountFor(cfg.N, 40)
+	}
+	if cfg.DocLen == 0 {
+		cfg.DocLen = 60
+	}
+	if cfg.OutDim == 0 {
+		cfg.OutDim = 256
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	proj := vecmath.NewProjection(cfg.Vocab, cfg.OutDim, rng)
+
+	// Each topic concentrates its mass on a small random slice of the
+	// vocabulary with Zipfian within-topic frequencies; documents sample
+	// tokens from their topic with a little global smoothing.
+	const topicWords = 80
+	topics := make([][]int, cfg.Topics)
+	for t := range topics {
+		topics[t] = rng.Perm(cfg.Vocab)[:topicWords]
+	}
+
+	d := &Dataset{
+		Name:       fmt.Sprintf("NYT-like-%s", humanCount(cfg.N)),
+		Vectors:    make([][]float32, 0, cfg.N),
+		TrueLabels: make([]int, 0, cfg.N),
+	}
+	numNoise := int(float64(cfg.N) * cfg.NoiseFrac)
+	counts := make(map[int]float32, cfg.DocLen)
+	emit := func(label int) {
+		clear(counts)
+		for w := 0; w < cfg.DocLen; w++ {
+			var token int
+			if label >= 0 && rng.Float64() > 0.1 {
+				// Zipfian rank within the topic word list.
+				rank := int(float64(topicWords) * math.Pow(rng.Float64(), 2.5))
+				token = topics[label][rank]
+			} else {
+				token = rng.Intn(cfg.Vocab)
+			}
+			counts[token]++
+		}
+		indices := make([]int, 0, len(counts))
+		values := make([]float32, 0, len(counts))
+		for idx, c := range counts {
+			indices = append(indices, idx)
+			// sub-linear TF weighting, standard for bag-of-words retrieval
+			values = append(values, float32(math.Log1p(float64(c))))
+		}
+		v := proj.ApplySparse(indices, values)
+		vecmath.Normalize(v)
+		d.Vectors = append(d.Vectors, v)
+		d.TrueLabels = append(d.TrueLabels, label)
+	}
+	for i := 0; i < cfg.N-numNoise; i++ {
+		emit(rng.Intn(cfg.Topics))
+	}
+	for i := 0; i < numNoise; i++ {
+		emit(-1)
+	}
+	shuffle(d, rng)
+	return d
+}
+
+// clusterCountFor scales a base cluster count sub-linearly with n so that
+// growing the dataset densifies clusters (the paper's Table 2 shows noise
+// ratio falling with scale at fixed epsilon/tau).
+func clusterCountFor(n, base int) int {
+	k := int(float64(base) * math.Sqrt(float64(n)/4000))
+	if k < 4 {
+		k = 4
+	}
+	return k
+}
+
+func humanCount(n int) string {
+	if n >= 1000 && n%1000 == 0 {
+		return fmt.Sprintf("%dk", n/1000)
+	}
+	if n >= 1000 {
+		return fmt.Sprintf("%.1fk", float64(n)/1000)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// TwoBlobs is a tiny deterministic generator used by unit tests: two tight
+// antipodal clusters of the given size plus a few orthogonal noise points.
+// With epsilon around 0.3 and tau <= size it produces exactly two clusters.
+func TwoBlobs(size int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const dim = 16
+	a := vecmath.RandomUnit(dim, rng)
+	b := vecmath.Scale(-1, vecmath.Clone(a))
+	d := &Dataset{Name: "two-blobs"}
+	for i := 0; i < size; i++ {
+		d.Vectors = append(d.Vectors, vecmath.PerturbOnSphere(a, 0.01, rng))
+		d.TrueLabels = append(d.TrueLabels, 0)
+		d.Vectors = append(d.Vectors, vecmath.PerturbOnSphere(b, 0.01, rng))
+		d.TrueLabels = append(d.TrueLabels, 1)
+	}
+	// noise: vectors orthogonal to the a/b axis, far from both blobs
+	for i := 0; i < 3; i++ {
+		v := vecmath.RandomUnit(dim, rng)
+		// project out the component along a to push it near the equator
+		proj := float32(vecmath.Dot(v, a))
+		vecmath.AXPY(-proj, a, v)
+		vecmath.Normalize(v)
+		d.Vectors = append(d.Vectors, v)
+		d.TrueLabels = append(d.TrueLabels, -1)
+	}
+	return d
+}

@@ -1,0 +1,167 @@
+// Package index provides the range-query and KNN engines the clustering
+// algorithms are built on: a (parallel) brute-force scanner used by DBSCAN,
+// DBSCAN++ and the LAF variants, a cover tree used by BLOCK-DBSCAN, a
+// k-means tree used by KNN-BLOCK DBSCAN, and the sparse grid behind
+// ρ-approximate DBSCAN.
+//
+// All engines operate over a fixed slice of points identified by integer
+// ids. Range semantics follow the paper: a range query with radius eps
+// returns the ids of points with d(q, p) < eps (strict), including the query
+// point itself when it is part of the indexed set.
+package index
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lafdbscan/internal/vecmath"
+)
+
+// RangeSearcher answers radius queries over an indexed point set.
+type RangeSearcher interface {
+	// RangeSearch returns the ids of all indexed points p with
+	// d(q, p) < eps, in unspecified order.
+	RangeSearch(q []float32, eps float64) []int
+	// RangeCount returns len(RangeSearch(q, eps)) without materializing
+	// the result.
+	RangeCount(q []float32, eps float64) int
+	// Len returns the number of indexed points.
+	Len() int
+}
+
+// KNNSearcher answers k-nearest-neighbor queries.
+type KNNSearcher interface {
+	// KNN returns up to k ids sorted by increasing distance, and the
+	// corresponding distances.
+	KNN(q []float32, k int) ([]int, []float64)
+}
+
+// BruteForce scans every indexed point. It parallelizes large scans across
+// GOMAXPROCS workers, which is the configuration all methods share in the
+// benchmark harness so that relative timings stay meaningful.
+type BruteForce struct {
+	points   [][]float32
+	dist     vecmath.DistanceFunc
+	parallel bool
+	queries  atomic.Int64
+}
+
+// NewBruteForce indexes points with the given distance. The points slice is
+// retained, not copied.
+func NewBruteForce(points [][]float32, dist vecmath.DistanceFunc) *BruteForce {
+	return &BruteForce{points: points, dist: dist, parallel: true}
+}
+
+// SetParallel toggles multi-goroutine scans (on by default). Tests use the
+// serial path for determinism-sensitive assertions.
+func (b *BruteForce) SetParallel(p bool) { b.parallel = p }
+
+// Len returns the number of indexed points.
+func (b *BruteForce) Len() int { return len(b.points) }
+
+// Queries returns the number of range queries executed so far. LAF's whole
+// point is reducing this number; the experiment harness reports it.
+func (b *BruteForce) Queries() int64 { return b.queries.Load() }
+
+// ResetQueries zeroes the query counter.
+func (b *BruteForce) ResetQueries() { b.queries.Store(0) }
+
+const parallelThreshold = 1 << 17 // ~point-dims per shard worth spawning for
+
+// RangeSearch implements RangeSearcher.
+func (b *BruteForce) RangeSearch(q []float32, eps float64) []int {
+	b.queries.Add(1)
+	n := len(b.points)
+	if n == 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if !b.parallel || workers == 1 || n*len(q) < parallelThreshold {
+		var out []int
+		for i, p := range b.points {
+			if b.dist(q, p) < eps {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	parts := make([][]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []int
+			for i := lo; i < hi; i++ {
+				if b.dist(q, b.points[i]) < eps {
+					local = append(local, i)
+				}
+			}
+			parts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// RangeCount implements RangeSearcher.
+func (b *BruteForce) RangeCount(q []float32, eps float64) int {
+	b.queries.Add(1)
+	n := len(b.points)
+	workers := runtime.GOMAXPROCS(0)
+	if !b.parallel || workers == 1 || n*len(q) < parallelThreshold {
+		count := 0
+		for _, p := range b.points {
+			if b.dist(q, p) < eps {
+				count++
+			}
+		}
+		return count
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := 0
+			for i := lo; i < hi; i++ {
+				if b.dist(q, b.points[i]) < eps {
+					c++
+				}
+			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+var _ RangeSearcher = (*BruteForce)(nil)

@@ -1,0 +1,130 @@
+package metrics
+
+import "math"
+
+// AMI returns the Adjusted Mutual Information score between two labelings,
+// using the "max" normalization variant with expected mutual information
+// under the hypergeometric model of randomness (Vinh et al. 2010), averaged
+// entropies — the same convention as scikit-learn's default ("arithmetic").
+func AMI(a, b []int) (float64, error) {
+	c, err := NewContingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return c.AMI(), nil
+}
+
+// MI returns the (unadjusted) mutual information of the table, in nats.
+func (c *Contingency) MI() float64 {
+	n := float64(c.N)
+	var mi float64
+	for i, row := range c.Counts {
+		for j, nij := range row {
+			if nij == 0 {
+				continue
+			}
+			pij := float64(nij) / n
+			mi += pij * math.Log(float64(nij)*n/(float64(c.RowSums[i])*float64(c.ColSums[j])))
+		}
+	}
+	if mi < 0 {
+		mi = 0 // guard tiny negative rounding
+	}
+	return mi
+}
+
+// Entropies returns the Shannon entropies (nats) of the two marginals.
+func (c *Contingency) Entropies() (hRow, hCol float64) {
+	n := float64(c.N)
+	for _, s := range c.RowSums {
+		if s > 0 {
+			p := float64(s) / n
+			hRow -= p * math.Log(p)
+		}
+	}
+	for _, s := range c.ColSums {
+		if s > 0 {
+			p := float64(s) / n
+			hCol -= p * math.Log(p)
+		}
+	}
+	return hRow, hCol
+}
+
+// EMI returns the expected mutual information between random labelings with
+// the table's marginals, under the hypergeometric model. Complexity is
+// O(R*C*min(a_i,b_j)); fine at the repository's experiment scales.
+func (c *Contingency) EMI() float64 {
+	n := c.N
+	lgN := lgammaInt(n + 1)
+	var emi float64
+	for i := range c.RowSums {
+		ai := c.RowSums[i]
+		for j := range c.ColSums {
+			bj := c.ColSums[j]
+			lo := ai + bj - n
+			if lo < 1 {
+				lo = 1
+			}
+			hi := ai
+			if bj < hi {
+				hi = bj
+			}
+			for nij := lo; nij <= hi; nij++ {
+				term1 := float64(nij) / float64(n) *
+					math.Log(float64(n)*float64(nij)/(float64(ai)*float64(bj)))
+				// log of the hypergeometric probability of nij
+				logP := lgammaInt(ai+1) + lgammaInt(bj+1) +
+					lgammaInt(n-ai+1) + lgammaInt(n-bj+1) -
+					lgN - lgammaInt(nij+1) - lgammaInt(ai-nij+1) -
+					lgammaInt(bj-nij+1) - lgammaInt(n-ai-bj+nij+1)
+				emi += term1 * math.Exp(logP)
+			}
+		}
+	}
+	return emi
+}
+
+// AMI computes the adjusted mutual information from the contingency table:
+// (MI - EMI) / (mean(H(U), H(V)) - EMI).
+func (c *Contingency) AMI() float64 {
+	hr, hc := c.Entropies()
+	if hr == 0 && hc == 0 {
+		// Both labelings are constant: identical partitions.
+		return 1
+	}
+	mi := c.MI()
+	emi := c.EMI()
+	denom := (hr+hc)/2 - emi
+	if math.Abs(denom) < 1e-15 {
+		// Chance-level denominator; fall back to raw agreement.
+		if math.Abs(mi-emi) < 1e-15 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (mi - emi) / denom
+}
+
+func lgammaInt(n int) float64 {
+	v, _ := math.Lgamma(float64(n))
+	return v
+}
+
+// NMI returns the normalized mutual information MI / mean(H(U), H(V)),
+// useful as a faster sanity metric in tests and ablations.
+func NMI(a, b []int) (float64, error) {
+	c, err := NewContingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	hr, hc := c.Entropies()
+	if hr == 0 && hc == 0 {
+		return 1, nil
+	}
+	m := (hr + hc) / 2
+	if m == 0 {
+		return 0, nil
+	}
+	return c.MI() / m, nil
+}

@@ -1,0 +1,39 @@
+package metrics
+
+// ARI returns the Adjusted Rand Index between two labelings of the same
+// points. 1 means identical partitions, 0 is the chance level, and negative
+// values indicate worse-than-chance agreement (the paper's Table 3 contains
+// one such entry for KNN-BLOCK on MS-150k).
+func ARI(a, b []int) (float64, error) {
+	c, err := NewContingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return c.ARI(), nil
+}
+
+// ARI computes the Adjusted Rand Index from the contingency table.
+func (c *Contingency) ARI() float64 {
+	if c.N <= 1 {
+		return 1 // degenerate: a single point is always perfectly clustered
+	}
+	var sumComb, sumRows, sumCols float64
+	for i, row := range c.Counts {
+		sumRows += comb2(c.RowSums[i])
+		for _, n := range row {
+			sumComb += comb2(n)
+		}
+	}
+	for _, s := range c.ColSums {
+		sumCols += comb2(s)
+	}
+	total := comb2(c.N)
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		// Both partitions are all-singletons or all-one-cluster; they agree
+		// exactly when the raw index equals the expected index.
+		return 1
+	}
+	return (sumComb - expected) / (maxIndex - expected)
+}

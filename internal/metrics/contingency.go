@@ -1,0 +1,63 @@
+// Package metrics implements the clustering-quality measures used in the
+// paper's evaluation: the Adjusted Rand Index (Hubert & Arabie 1985) and the
+// Adjusted Mutual Information score (Vinh, Epps & Bailey 2010), plus the
+// clustering statistics behind Tables 2 and 6 (noise ratio, cluster counts,
+// fully-missed-cluster analysis).
+//
+// Noise points (label -1 by the conventions of internal/cluster) are treated
+// as a regular singleton-style class of their own when building contingency
+// tables, matching the common scikit-learn usage the paper's scores reflect.
+package metrics
+
+import "fmt"
+
+// Contingency is the cross-tabulation of two labelings of the same points.
+type Contingency struct {
+	// N is the number of points.
+	N int
+	// Counts[i][j] is the number of points with row-class i and col-class j.
+	Counts [][]int
+	// RowSums[i] and ColSums[j] are the marginals.
+	RowSums, ColSums []int
+}
+
+// NewContingency builds the contingency table of labelings a (rows) and b
+// (columns). Labels may be arbitrary ints, including -1 for noise.
+func NewContingency(a, b []int) (*Contingency, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("metrics: labelings of different lengths %d and %d", len(a), len(b))
+	}
+	rowIdx := indexLabels(a)
+	colIdx := indexLabels(b)
+	c := &Contingency{
+		N:       len(a),
+		Counts:  make([][]int, len(rowIdx)),
+		RowSums: make([]int, len(rowIdx)),
+		ColSums: make([]int, len(colIdx)),
+	}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, len(colIdx))
+	}
+	for k := range a {
+		i, j := rowIdx[a[k]], colIdx[b[k]]
+		c.Counts[i][j]++
+		c.RowSums[i]++
+		c.ColSums[j]++
+	}
+	return c, nil
+}
+
+func indexLabels(labels []int) map[int]int {
+	idx := make(map[int]int)
+	for _, l := range labels {
+		if _, ok := idx[l]; !ok {
+			idx[l] = len(idx)
+		}
+	}
+	return idx
+}
+
+// comb2 returns C(n, 2) as a float64.
+func comb2(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}

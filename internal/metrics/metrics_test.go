@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestContingencyBasics(t *testing.T) {
+	c, err := NewContingency([]int{0, 0, 1, 1}, []int{0, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 4 {
+		t.Errorf("N = %d", c.N)
+	}
+	if len(c.Counts) != 2 || len(c.Counts[0]) != 3 {
+		t.Errorf("shape %dx%d", len(c.Counts), len(c.Counts[0]))
+	}
+	if c.RowSums[0] != 2 || c.ColSums[0] != 2 || c.ColSums[1] != 1 {
+		t.Errorf("marginals %v %v", c.RowSums, c.ColSums)
+	}
+}
+
+func TestContingencyLengthMismatch(t *testing.T) {
+	if _, err := NewContingency([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ARI([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("ARI length mismatch accepted")
+	}
+	if _, err := AMI([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("AMI length mismatch accepted")
+	}
+	if _, err := NMI([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("NMI length mismatch accepted")
+	}
+}
+
+func TestARIKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{0, 0, 1, 1}, []int{0, 0, 1, 1}, 1},
+		{[]int{0, 0, 1, 1}, []int{1, 1, 0, 0}, 1},         // permutation invariant
+		{[]int{0, 0, 1, 1}, []int{0, 1, 0, 1}, -0.5},      // maximally wrong
+		{[]int{0, 0, 1, 1}, []int{0, 0, 1, 2}, 4.0 / 7.0}, // split one cluster
+		{[]int{0, 1, 2, 3}, []int{0, 1, 2, 3}, 1},         // all singletons
+		{[]int{-1, -1, 0, 0}, []int{-1, -1, 0, 0}, 1},     // noise as a class
+	}
+	for _, c := range cases {
+		got, err := ARI(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("ARI(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAMIKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{0, 0, 1, 1}, []int{0, 0, 1, 1}, 1},
+		{[]int{0, 0, 1, 1}, []int{1, 1, 0, 0}, 1},
+		{[]int{0, 0, 1, 1}, []int{0, 1, 0, 1}, -0.5}, // matches scikit-learn
+		{[]int{0, 0, 0, 0}, []int{0, 0, 0, 0}, 1},    // both constant
+	}
+	for _, c := range cases {
+		got, err := AMI(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("AMI(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNMI(t *testing.T) {
+	got, err := NMI([]int{0, 0, 1, 1}, []int{0, 0, 1, 1})
+	if err != nil || !almostEqual(got, 1, 1e-12) {
+		t.Errorf("NMI identical = %v (%v)", got, err)
+	}
+	got, err = NMI([]int{0, 0, 1, 1}, []int{0, 1, 0, 1})
+	if err != nil || !almostEqual(got, 0, 1e-12) {
+		t.Errorf("NMI independent = %v (%v)", got, err)
+	}
+}
+
+// Property: agreement scores are 1 for any labeling compared with a
+// label-permuted copy of itself, and never exceed 1.
+func TestScoresPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(40)
+		k := 1 + r.Intn(5)
+		a := make([]int, n)
+		b := make([]int, n)
+		perm := r.Perm(k)
+		for i := range a {
+			a[i] = r.Intn(k)
+			b[i] = perm[a[i]]
+		}
+		ari, err1 := ARI(a, b)
+		ami, err2 := AMI(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(ari, 1, 1e-9) && almostEqual(ami, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scores of random labelings stay in a sane range and are
+// symmetric in their arguments.
+func TestScoresSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(4)
+			b[i] = r.Intn(3)
+		}
+		ari1, _ := ARI(a, b)
+		ari2, _ := ARI(b, a)
+		ami1, _ := AMI(a, b)
+		ami2, _ := AMI(b, a)
+		return almostEqual(ari1, ari2, 1e-9) && almostEqual(ami1, ami2, 1e-9) &&
+			ari1 <= 1+1e-9 && ami1 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARISinglePoint(t *testing.T) {
+	got, err := ARI([]int{3}, []int{9})
+	if err != nil || got != 1 {
+		t.Errorf("single point ARI = %v (%v)", got, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := Stats([]int{1, 1, 2, Noise, Noise, Noise, 2, 2})
+	if s.N != 8 || s.NumClusters != 2 || s.NumNoise != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if !almostEqual(s.NoiseRatio, 3.0/8.0, 1e-12) {
+		t.Errorf("noise ratio %v", s.NoiseRatio)
+	}
+	if s.Sizes[1] != 2 || s.Sizes[2] != 3 {
+		t.Errorf("sizes %v", s.Sizes)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := Stats(nil)
+	if s.N != 0 || s.NoiseRatio != 0 || s.NumClusters != 0 {
+		t.Errorf("Stats(nil) = %+v", s)
+	}
+}
+
+func TestMissedClusters(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1, 2, Noise}
+	pred := []int{5, 5, Noise, Noise, Noise, 7, Noise}
+	s, err := MissedClusters(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalClusters != 3 {
+		t.Errorf("TC = %d", s.TotalClusters)
+	}
+	if s.MissedClusters != 1 { // only cluster 1 is fully noise in pred
+		t.Errorf("MC = %d", s.MissedClusters)
+	}
+	if s.MissedPoints != 2 || s.TotalClusteredPoints != 6 {
+		t.Errorf("MP/TPC = %d/%d", s.MissedPoints, s.TotalClusteredPoints)
+	}
+	if !almostEqual(s.AvgMissedSize, 2, 1e-12) {
+		t.Errorf("ASMC = %v", s.AvgMissedSize)
+	}
+}
+
+func TestMissedClustersNoneMissed(t *testing.T) {
+	truth := []int{0, 0, 1}
+	pred := []int{4, 4, 5}
+	s, err := MissedClusters(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MissedClusters != 0 || s.AvgMissedSize != 0 {
+		t.Errorf("unexpected misses: %+v", s)
+	}
+}
+
+func TestMissedClustersLengthMismatch(t *testing.T) {
+	if _, err := MissedClusters([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if (lenError{}).Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+// Cross-check: ARI and AMI both near zero for independent labelings with
+// plenty of samples.
+func TestScoresNearZeroForIndependentLabels(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := 3000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = r.Intn(5)
+		b[i] = r.Intn(5)
+	}
+	ari, _ := ARI(a, b)
+	ami, _ := AMI(a, b)
+	if math.Abs(ari) > 0.02 || math.Abs(ami) > 0.02 {
+		t.Errorf("independent labelings scored ari=%v ami=%v", ari, ami)
+	}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+// Noise is the label value clustering algorithms assign to noise points.
+// It mirrors internal/cluster.Noise; duplicated here to keep the metrics
+// package dependency-free.
+const Noise = -1
+
+// ClusteringStats summarizes a labeling the way the paper's Table 2 does.
+type ClusteringStats struct {
+	// N is the number of points.
+	N int
+	// NumClusters is the number of distinct non-noise cluster ids.
+	NumClusters int
+	// NumNoise is the number of points labeled Noise.
+	NumNoise int
+	// NoiseRatio is NumNoise / N (0 for an empty labeling).
+	NoiseRatio float64
+	// Sizes maps cluster id to member count.
+	Sizes map[int]int
+}
+
+// Stats computes the summary of a labeling.
+func Stats(labels []int) ClusteringStats {
+	s := ClusteringStats{N: len(labels), Sizes: make(map[int]int)}
+	for _, l := range labels {
+		if l == Noise {
+			s.NumNoise++
+			continue
+		}
+		s.Sizes[l]++
+	}
+	s.NumClusters = len(s.Sizes)
+	if s.N > 0 {
+		s.NoiseRatio = float64(s.NumNoise) / float64(s.N)
+	}
+	return s
+}
+
+// MissedClusterStats reproduces the paper's Table 6 analysis: how many
+// ground-truth clusters were fully missed (every member labeled noise by the
+// approximate method), how many points that cost, and the average size of
+// the missed clusters.
+type MissedClusterStats struct {
+	// MissedClusters (MC) is the number of ground-truth clusters whose
+	// every member is noise in the predicted labeling.
+	MissedClusters int
+	// TotalClusters (TC) is the number of ground-truth clusters.
+	TotalClusters int
+	// MissedPoints (MP) is the number of points in fully missed clusters.
+	MissedPoints int
+	// TotalClusteredPoints (TPC) is the number of non-noise ground-truth
+	// points.
+	TotalClusteredPoints int
+	// AvgMissedSize (ASMC) is MissedPoints / MissedClusters (0 when none).
+	AvgMissedSize float64
+}
+
+// MissedClusters compares a predicted labeling against ground truth and
+// reports the fully-missed-cluster statistics.
+func MissedClusters(truth, pred []int) (MissedClusterStats, error) {
+	var s MissedClusterStats
+	if len(truth) != len(pred) {
+		return s, errLen(len(truth), len(pred))
+	}
+	members := make(map[int][]int)
+	for i, l := range truth {
+		if l == Noise {
+			continue
+		}
+		members[l] = append(members[l], i)
+		s.TotalClusteredPoints++
+	}
+	s.TotalClusters = len(members)
+	for _, idx := range members {
+		missed := true
+		for _, i := range idx {
+			if pred[i] != Noise {
+				missed = false
+				break
+			}
+		}
+		if missed {
+			s.MissedClusters++
+			s.MissedPoints += len(idx)
+		}
+	}
+	if s.MissedClusters > 0 {
+		s.AvgMissedSize = float64(s.MissedPoints) / float64(s.MissedClusters)
+	}
+	return s, nil
+}
+
+type lenError struct{ a, b int }
+
+func errLen(a, b int) error { return lenError{a, b} }
+
+func (e lenError) Error() string {
+	return "metrics: labelings of different lengths"
+}

@@ -1,0 +1,311 @@
+// Package nn is a small, dependency-free feed-forward neural network
+// library: dense layers, ReLU/sigmoid/identity activations, mean-squared
+// error, SGD and Adam, and a minibatch training loop with data-parallel
+// gradient computation. It exists because the paper's cardinality estimator
+// (a three-stage RMI of fully-connected regressors) needs a trainable deep
+// model and this repository is stdlib-only.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Activation identifies a layer nonlinearity.
+type Activation int
+
+const (
+	// Identity is the linear activation used for output layers.
+	Identity Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+	// Sigmoid is 1 / (1 + exp(-x)); handy for outputs bounded in (0, 1).
+	Sigmoid
+)
+
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns f'(x) given y = f(x); all supported activations
+// admit this form, which avoids caching pre-activations.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// Dense is a fully-connected layer: out = act(W*x + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+	// W is row-major [Out][In]; B has length Out.
+	W []float64
+	B []float64
+}
+
+// Network is a sequence of dense layers.
+type Network struct {
+	Layers []*Dense
+}
+
+// NewNetwork builds a network with the given layer widths, hidden
+// activation for all but the last layer, and output activation for the
+// last. Weights use He initialization, appropriate for ReLU stacks.
+func NewNetwork(widths []int, hidden, output Activation, rng *rand.Rand) *Network {
+	if len(widths) < 2 {
+		panic("nn: need at least input and output widths")
+	}
+	n := &Network{}
+	for i := 0; i+1 < len(widths); i++ {
+		act := hidden
+		if i+2 == len(widths) {
+			act = output
+		}
+		layer := &Dense{In: widths[i], Out: widths[i+1], Act: act,
+			W: make([]float64, widths[i]*widths[i+1]),
+			B: make([]float64, widths[i+1]),
+		}
+		std := math.Sqrt(2 / float64(widths[i]))
+		for j := range layer.W {
+			layer.W[j] = rng.NormFloat64() * std
+		}
+		n.Layers = append(n.Layers, layer)
+	}
+	return n
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += len(l.W) + len(l.B)
+	}
+	return total
+}
+
+// InDim returns the expected input dimension.
+func (n *Network) InDim() int { return n.Layers[0].In }
+
+// OutDim returns the output dimension.
+func (n *Network) OutDim() int { return n.Layers[len(n.Layers)-1].Out }
+
+// Forward computes the network output for a single input. The scratch
+// argument may be nil; passing a *Scratch avoids per-call allocation in hot
+// prediction loops.
+func (n *Network) Forward(x []float64, scratch *Scratch) []float64 {
+	if scratch == nil {
+		scratch = NewScratch(n)
+	}
+	cur := x
+	for li, l := range n.Layers {
+		out := scratch.acts[li]
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, xi := range cur {
+				s += row[i] * xi
+			}
+			out[o] = l.Act.apply(s)
+		}
+		cur = out
+	}
+	result := make([]float64, len(cur))
+	copy(result, cur)
+	return result
+}
+
+// Predict1 runs Forward and returns the first output, the common case for
+// scalar regression.
+func (n *Network) Predict1(x []float64, scratch *Scratch) float64 {
+	if scratch == nil {
+		scratch = NewScratch(n)
+	}
+	cur := x
+	for li, l := range n.Layers {
+		out := scratch.acts[li]
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, xi := range cur {
+				s += row[i] * xi
+			}
+			out[o] = l.Act.apply(s)
+		}
+		cur = out
+	}
+	return cur[0]
+}
+
+// Scratch holds per-layer activation buffers for one concurrent user of a
+// network. Create one per goroutine.
+type Scratch struct {
+	acts [][]float64 // activation outputs per layer
+}
+
+// NewScratch allocates buffers matching the network's layer widths.
+func NewScratch(n *Network) *Scratch {
+	s := &Scratch{acts: make([][]float64, len(n.Layers))}
+	for i, l := range n.Layers {
+		s.acts[i] = make([]float64, l.Out)
+	}
+	return s
+}
+
+// Grads holds parameter gradients with the same shapes as the network.
+type Grads struct {
+	W [][]float64
+	B [][]float64
+	// deltas are backprop scratch buffers per layer.
+	deltas [][]float64
+}
+
+// NewGrads allocates a gradient accumulator for n.
+func NewGrads(n *Network) *Grads {
+	g := &Grads{
+		W:      make([][]float64, len(n.Layers)),
+		B:      make([][]float64, len(n.Layers)),
+		deltas: make([][]float64, len(n.Layers)),
+	}
+	for i, l := range n.Layers {
+		g.W[i] = make([]float64, len(l.W))
+		g.B[i] = make([]float64, len(l.B))
+		g.deltas[i] = make([]float64, l.Out)
+	}
+	return g
+}
+
+// Zero clears all accumulated gradients.
+func (g *Grads) Zero() {
+	for i := range g.W {
+		for j := range g.W[i] {
+			g.W[i][j] = 0
+		}
+		for j := range g.B[i] {
+			g.B[i][j] = 0
+		}
+	}
+}
+
+// Add accumulates other into g.
+func (g *Grads) Add(other *Grads) {
+	for i := range g.W {
+		for j := range g.W[i] {
+			g.W[i][j] += other.W[i][j]
+		}
+		for j := range g.B[i] {
+			g.B[i][j] += other.B[i][j]
+		}
+	}
+}
+
+// BackwardMSE runs a forward pass on x, then backpropagates the gradient of
+// 0.5*(pred-target)^2 summed over outputs, accumulating into g. It returns
+// the sample's squared error. scratch must belong to the same network.
+func (n *Network) BackwardMSE(x, target []float64, scratch *Scratch, g *Grads) float64 {
+	// forward, keeping activations
+	cur := x
+	for li, l := range n.Layers {
+		out := scratch.acts[li]
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, xi := range cur {
+				s += row[i] * xi
+			}
+			out[o] = l.Act.apply(s)
+		}
+		cur = out
+	}
+	// output delta
+	last := len(n.Layers) - 1
+	var se float64
+	for o := range g.deltas[last] {
+		diff := scratch.acts[last][o] - target[o]
+		se += diff * diff
+		g.deltas[last][o] = diff * n.Layers[last].Act.derivFromOutput(scratch.acts[last][o])
+	}
+	// backprop
+	for li := last; li >= 0; li-- {
+		l := n.Layers[li]
+		var input []float64
+		if li == 0 {
+			input = x
+		} else {
+			input = scratch.acts[li-1]
+		}
+		delta := g.deltas[li]
+		for o := 0; o < l.Out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			g.B[li][o] += d
+			gw := g.W[li][o*l.In : (o+1)*l.In]
+			for i, xi := range input {
+				gw[i] += d * xi
+			}
+		}
+		if li > 0 {
+			prev := g.deltas[li-1]
+			prevAct := scratch.acts[li-1]
+			lPrev := n.Layers[li-1]
+			for i := 0; i < l.In; i++ {
+				var s float64
+				for o := 0; o < l.Out; o++ {
+					s += delta[o] * l.W[o*l.In+i]
+				}
+				prev[i] = s * lPrev.Act.derivFromOutput(prevAct[i])
+			}
+		}
+	}
+	return se
+}
+
+// parallelWorkers caps data-parallel training fan-out.
+func parallelWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+var _ = sync.WaitGroup{}

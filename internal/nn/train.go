@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Optimizer updates network parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies the gradient g (already averaged over the batch) to n.
+	Step(n *Network, g *Grads)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vW, vB   [][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(n *Network, g *Grads) {
+	if s.vW == nil && s.Momentum != 0 {
+		s.vW = make([][]float64, len(n.Layers))
+		s.vB = make([][]float64, len(n.Layers))
+		for i, l := range n.Layers {
+			s.vW[i] = make([]float64, len(l.W))
+			s.vB[i] = make([]float64, len(l.B))
+		}
+	}
+	for i, l := range n.Layers {
+		if s.Momentum == 0 {
+			for j := range l.W {
+				l.W[j] -= s.LR * g.W[i][j]
+			}
+			for j := range l.B {
+				l.B[j] -= s.LR * g.B[i][j]
+			}
+			continue
+		}
+		for j := range l.W {
+			s.vW[i][j] = s.Momentum*s.vW[i][j] - s.LR*g.W[i][j]
+			l.W[j] += s.vW[i][j]
+		}
+		for j := range l.B {
+			s.vB[i][j] = s.Momentum*s.vB[i][j] - s.LR*g.B[i][j]
+			l.B[j] += s.vB[i][j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	mW, vW, mB, vB        [][]float64
+}
+
+// NewAdam returns Adam with the usual defaults for unset fields.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(n *Network, g *Grads) {
+	if a.mW == nil {
+		a.mW = make([][]float64, len(n.Layers))
+		a.vW = make([][]float64, len(n.Layers))
+		a.mB = make([][]float64, len(n.Layers))
+		a.vB = make([][]float64, len(n.Layers))
+		for i, l := range n.Layers {
+			a.mW[i] = make([]float64, len(l.W))
+			a.vW[i] = make([]float64, len(l.W))
+			a.mB[i] = make([]float64, len(l.B))
+			a.vB[i] = make([]float64, len(l.B))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, l := range n.Layers {
+		update := func(w []float64, gw, m, v []float64) {
+			for j := range w {
+				m[j] = a.Beta1*m[j] + (1-a.Beta1)*gw[j]
+				v[j] = a.Beta2*v[j] + (1-a.Beta2)*gw[j]*gw[j]
+				mh := m[j] / c1
+				vh := v[j] / c2
+				w[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			}
+		}
+		update(l.W, g.W[i], a.mW[i], a.vW[i])
+		update(l.B, g.B[i], a.mB[i], a.vB[i])
+	}
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	Seed      int64
+	// Verbose, when non-nil, receives one line per epoch.
+	Verbose func(epoch int, mse float64)
+}
+
+// Fit trains the network to regress targets from inputs with minibatch MSE.
+// It returns the final epoch's mean squared error. Gradient computation is
+// data-parallel across up to 8 workers; updates are applied serially per
+// batch, so results are deterministic for a fixed seed and worker-count-
+// independent losses are averaged exactly.
+func (n *Network) Fit(inputs [][]float64, targets [][]float64, cfg TrainConfig) (float64, error) {
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("nn: empty training set")
+	}
+	if len(inputs) != len(targets) {
+		return 0, fmt.Errorf("nn: %d inputs but %d targets", len(inputs), len(targets))
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(1e-3)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(inputs))
+
+	workers := parallelWorkers()
+	grads := make([]*Grads, workers)
+	scratches := make([]*Scratch, workers)
+	for w := range grads {
+		grads[w] = NewGrads(n)
+		scratches[w] = NewScratch(n)
+	}
+	total := NewGrads(n)
+
+	var lastMSE float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochSE float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			chunk := (len(batch) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				if lo >= len(batch) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(batch) {
+					hi = len(batch)
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					grads[w].Zero()
+					var se float64
+					for _, idx := range batch[lo:hi] {
+						se += n.BackwardMSE(inputs[idx], targets[idx], scratches[w], grads[w])
+					}
+					mu.Lock()
+					epochSE += se
+					mu.Unlock()
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			total.Zero()
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				if lo >= len(batch) {
+					break
+				}
+				total.Add(grads[w])
+			}
+			inv := 1 / float64(len(batch))
+			for i := range total.W {
+				for j := range total.W[i] {
+					total.W[i][j] *= inv
+				}
+				for j := range total.B[i] {
+					total.B[i][j] *= inv
+				}
+			}
+			cfg.Optimizer.Step(n, total)
+		}
+		lastMSE = epochSE / float64(len(inputs))
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, lastMSE)
+		}
+	}
+	return lastMSE, nil
+}

@@ -1,0 +1,228 @@
+package rmi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lafdbscan/internal/vecmath"
+)
+
+// syntheticExamples builds training pairs whose cardinality depends only on
+// the radius and a single coordinate, so a small model can learn it.
+func syntheticExamples(n int, seed int64) ([]Example, int) {
+	rng := rand.New(rand.NewSource(seed))
+	const refSize = 1000
+	examples := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		v := vecmath.RandomUnit(8, rng)
+		r := 0.1 + rng.Float64()*0.8
+		// density grows with radius and with v[0]
+		frac := r * (0.5 + 0.5*float64(v[0]+1)/2)
+		count := int(frac * refSize)
+		if count > refSize {
+			count = refSize
+		}
+		examples = append(examples, Example{Vector: v, Radius: r, Count: count})
+	}
+	return examples, refSize
+}
+
+func smallConfig() Config {
+	return Config{
+		StageCounts: []int{1, 2, 4},
+		Hidden:      []int{16, 8},
+		Epochs:      40,
+		BatchSize:   32,
+		LR:          5e-3,
+		Seed:        1,
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 100, smallConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	ex, _ := syntheticExamples(10, 1)
+	bad := smallConfig()
+	bad.StageCounts = []int{2, 2}
+	if _, err := Train(ex, 100, bad); err == nil {
+		t.Error("first stage != 1 accepted")
+	}
+	if _, err := Train(ex, 0, smallConfig()); err == nil {
+		t.Error("non-positive reference size accepted")
+	}
+	ragged := append([]Example{}, ex...)
+	ragged[3].Vector = []float32{1}
+	if _, err := Train(ragged, 100, smallConfig()); err == nil {
+		t.Error("ragged examples accepted")
+	}
+}
+
+func TestTrainDefaultsWhenConfigEmpty(t *testing.T) {
+	ex, refSize := syntheticExamples(60, 2)
+	cfg := Config{} // all defaults
+	r, err := Train(ex, refSize, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumModels() != 7 {
+		t.Errorf("NumModels = %d, want 7", r.NumModels())
+	}
+}
+
+func TestRMIStructure(t *testing.T) {
+	ex, refSize := syntheticExamples(100, 3)
+	r, err := Train(ex, refSize, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumModels() != 1+2+4 {
+		t.Errorf("NumModels = %d", r.NumModels())
+	}
+	if r.InDim() != 9 {
+		t.Errorf("InDim = %d, want 9", r.InDim())
+	}
+}
+
+func TestRMILearnsMonotoneDensity(t *testing.T) {
+	ex, refSize := syntheticExamples(600, 4)
+	r, err := Train(ex, refSize, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average relative error over held-out queries should be moderate.
+	held, _ := syntheticExamples(100, 99)
+	var relErr float64
+	for _, e := range held {
+		got := r.Estimate(e.Vector, e.Radius)
+		relErr += math.Abs(got-float64(e.Count)) / (float64(e.Count) + 10)
+	}
+	relErr /= float64(len(held))
+	if relErr > 0.6 {
+		t.Errorf("mean relative error %v too high", relErr)
+	}
+	// Larger radii should predict more neighbors on average.
+	rng := rand.New(rand.NewSource(5))
+	var smallSum, largeSum float64
+	for i := 0; i < 30; i++ {
+		v := vecmath.RandomUnit(8, rng)
+		smallSum += r.Estimate(v, 0.15)
+		largeSum += r.Estimate(v, 0.85)
+	}
+	if smallSum >= largeSum {
+		t.Errorf("radius monotonicity violated on average: %v vs %v", smallSum, largeSum)
+	}
+}
+
+func TestEstimateBounds(t *testing.T) {
+	ex, refSize := syntheticExamples(100, 6)
+	r, err := Train(ex, refSize, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		v := vecmath.RandomUnit(8, rng)
+		got := r.Estimate(v, rng.Float64())
+		if got < 0 || got > float64(refSize)+1 {
+			t.Fatalf("estimate %v out of [0, %d]", got, refSize)
+		}
+	}
+}
+
+func TestEstimateWithConcurrentScratch(t *testing.T) {
+	ex, refSize := syntheticExamples(80, 8)
+	r, err := Train(ex, refSize, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			s := r.NewScratch()
+			for i := 0; i < 100; i++ {
+				v := vecmath.RandomUnit(8, rng)
+				if got := r.EstimateWith(v, 0.5, s); got < 0 {
+					t.Errorf("negative estimate %v", got)
+				}
+			}
+			done <- true
+		}(int64(g))
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func TestEstimateWithMatchesEstimate(t *testing.T) {
+	ex, refSize := syntheticExamples(80, 9)
+	r, err := Train(ex, refSize, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.NewScratch()
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 20; i++ {
+		v := vecmath.RandomUnit(8, rng)
+		a := r.Estimate(v, 0.4)
+		b := r.EstimateWith(v, 0.4, s)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("Estimate %v != EstimateWith %v", a, b)
+		}
+	}
+}
+
+func TestRoute(t *testing.T) {
+	cases := []struct {
+		y    float64
+		k    int
+		want int
+	}{
+		{-0.5, 4, 0},
+		{0, 4, 0},
+		{0.49, 2, 0},
+		{0.51, 2, 1},
+		{0.99, 4, 3},
+		{1.0, 4, 3},
+		{1.7, 4, 3},
+	}
+	for _, c := range cases {
+		if got := route(c.y, c.k); got != c.want {
+			t.Errorf("route(%v, %d) = %d, want %d", c.y, c.k, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeDenormalizeRoundTrip(t *testing.T) {
+	r := &RMI{logN: math.Log1p(1000)}
+	for _, c := range []int{0, 1, 10, 500, 1000} {
+		y := r.normalize(c)
+		back := r.denormalize(y)
+		if math.Abs(back-float64(c)) > 1e-6*float64(c)+1e-6 {
+			t.Errorf("round trip %d -> %v -> %v", c, y, back)
+		}
+	}
+	// out-of-range predictions clamp
+	if got := r.denormalize(-0.2); got != 0 {
+		t.Errorf("denormalize(-0.2) = %v", got)
+	}
+	if got := r.denormalize(1.4); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("denormalize(1.4) = %v", got)
+	}
+}
+
+func TestPresetConfigs(t *testing.T) {
+	d := DefaultConfig()
+	p := PaperConfig()
+	if len(d.StageCounts) != 3 || d.StageCounts[2] != 4 {
+		t.Errorf("DefaultConfig stages %v", d.StageCounts)
+	}
+	if len(p.Hidden) != 4 || p.Hidden[0] != 512 || p.Hidden[3] != 128 {
+		t.Errorf("PaperConfig hidden %v", p.Hidden)
+	}
+	if p.Epochs != 200 || p.BatchSize != 512 {
+		t.Errorf("PaperConfig training %d/%d", p.Epochs, p.BatchSize)
+	}
+}

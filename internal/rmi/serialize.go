@@ -1,0 +1,78 @@
+package rmi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"lafdbscan/internal/nn"
+)
+
+// rmiPayload is the gob wire format of a trained RMI. Networks serialize
+// directly (all nn fields are exported).
+type rmiPayload struct {
+	Version int
+	InDim   int
+	LogN    float64
+	Stages  [][]*nn.Network
+}
+
+const serializeVersion = 1
+
+// Save writes the trained model to w. Training configuration is not
+// persisted — a loaded model can only predict.
+func (r *RMI) Save(w io.Writer) error {
+	payload := rmiPayload{
+		Version: serializeVersion,
+		InDim:   r.inDim,
+		LogN:    r.logN,
+		Stages:  r.stages,
+	}
+	return gob.NewEncoder(w).Encode(&payload)
+}
+
+// Load reads a model written by Save.
+func Load(rd io.Reader) (*RMI, error) {
+	var payload rmiPayload
+	if err := gob.NewDecoder(rd).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("rmi: decoding model: %w", err)
+	}
+	if payload.Version != serializeVersion {
+		return nil, fmt.Errorf("rmi: unsupported model version %d", payload.Version)
+	}
+	if len(payload.Stages) == 0 || len(payload.Stages[0]) != 1 {
+		return nil, fmt.Errorf("rmi: malformed model: bad stage structure")
+	}
+	if payload.InDim < 2 || payload.LogN <= 0 {
+		return nil, fmt.Errorf("rmi: malformed model: inDim=%d logN=%v", payload.InDim, payload.LogN)
+	}
+	return &RMI{
+		inDim:  payload.InDim,
+		logN:   payload.LogN,
+		stages: payload.Stages,
+	}, nil
+}
+
+// SaveFile writes the model to a file.
+func (r *RMI) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*RMI, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

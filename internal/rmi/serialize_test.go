@@ -1,0 +1,84 @@
+package rmi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"lafdbscan/internal/vecmath"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ex, refSize := syntheticExamples(120, 21)
+	model, err := Train(ex, refSize, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.InDim() != model.InDim() || loaded.NumModels() != model.NumModels() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			loaded.InDim(), loaded.NumModels(), model.InDim(), model.NumModels())
+	}
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 30; i++ {
+		v := vecmath.RandomUnit(8, rng)
+		r := rng.Float64()
+		a := model.Estimate(v, r)
+		b := loaded.Estimate(v, r)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("prediction drift after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ex, refSize := syntheticExamples(60, 23)
+	model, err := Train(ex, refSize, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.rmi")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumModels() != model.NumModels() {
+		t.Fatal("file round trip lost models")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.rmi")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadRejectsMalformedPayload(t *testing.T) {
+	// Valid gob of a structurally invalid model.
+	var buf bytes.Buffer
+	bad := &RMI{inDim: 0, logN: 0, stages: nil}
+	if err := bad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("malformed model accepted")
+	}
+}

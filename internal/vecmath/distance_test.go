@@ -1,0 +1,146 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosineDistanceKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []float32
+		want float64
+	}{
+		{[]float32{1, 0}, []float32{1, 0}, 0},
+		{[]float32{1, 0}, []float32{0, 1}, 1},
+		{[]float32{1, 0}, []float32{-1, 0}, 2},
+		{[]float32{2, 0}, []float32{5, 0}, 0}, // scale invariant
+	}
+	for _, c := range cases {
+		if got := CosineDistance(c.a, c.b); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("CosineDistance(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCosineDistanceZeroVector(t *testing.T) {
+	if got := CosineDistance([]float32{0, 0}, []float32{1, 0}); got != 1 {
+		t.Errorf("CosineDistance with zero vector = %v, want 1", got)
+	}
+}
+
+// Property: cosine distance is bounded in [0, 2] and symmetric.
+func TestCosineDistanceBoundedSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := RandomGaussian(24, 0, 3, r)
+		b := RandomGaussian(24, 0, 3, r)
+		d1 := CosineDistance(a, b)
+		d2 := CosineDistance(b, a)
+		return d1 >= 0 && d1 <= 2 && almostEqual(d1, d2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on unit vectors the fast path agrees with the general one.
+func TestCosineDistanceUnitAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := RandomUnit(32, r)
+		b := RandomUnit(32, r)
+		return almostEqual(CosineDistance(a, b), CosineDistanceUnit(a, b), 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if got := EuclideanDistance([]float32{0, 0}, []float32{3, 4}); !almostEqual(got, 5, 1e-9) {
+		t.Errorf("EuclideanDistance = %v, want 5", got)
+	}
+	if got := EuclideanDistance([]float32{1, 2, 3}, []float32{1, 2, 3}); got != 0 {
+		t.Errorf("self distance = %v, want 0", got)
+	}
+}
+
+// Property: Equation 1 of the paper. On unit vectors,
+// d_euc = sqrt(2 * d_cos) exactly relates the two metrics.
+func TestEquationOneCosineEuclideanEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := RandomUnit(48, r)
+		b := RandomUnit(48, r)
+		dcos := CosineDistance(a, b)
+		deuc := EuclideanDistance(a, b)
+		return almostEqual(deuc, CosineToEuclidean(dcos), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineEuclideanRoundTrip(t *testing.T) {
+	for _, d := range []float64{0, 0.1, 0.5, 1.0, 1.7, 2.0} {
+		if got := EuclideanToCosine(CosineToEuclidean(d)); !almostEqual(got, d, 1e-12) {
+			t.Errorf("round trip of %v = %v", d, got)
+		}
+	}
+	// The paper's worked example: d_cos = 0.5 maps to d_euc = 1.0.
+	if got := CosineToEuclidean(0.5); !almostEqual(got, 1.0, 1e-12) {
+		t.Errorf("CosineToEuclidean(0.5) = %v, want 1.0", got)
+	}
+}
+
+func TestConversionPanicsOnNegative(t *testing.T) {
+	for _, f := range []func(){func() { CosineToEuclidean(-1) }, func() { EuclideanToCosine(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on negative distance")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Cosine.String() != "cosine" || Euclidean.String() != "euclidean" {
+		t.Error("Metric.String mismatch")
+	}
+	if Metric(42).String() != "Metric(42)" {
+		t.Error("unknown metric String mismatch")
+	}
+}
+
+func TestMetricFunc(t *testing.T) {
+	a, b := []float32{1, 0}, []float32{0, 1}
+	if got := Cosine.Func()(a, b); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("Cosine.Func() = %v", got)
+	}
+	if got := Euclidean.Func()(a, b); !almostEqual(got, math.Sqrt2, 1e-6) {
+		t.Errorf("Euclidean.Func() = %v", got)
+	}
+}
+
+func TestMetricFuncPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Metric(7).Func()
+}
+
+func TestSquaredEuclideanMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SquaredEuclidean([]float32{1}, []float32{1, 2})
+}

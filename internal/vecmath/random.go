@@ -1,0 +1,92 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomUnit returns a uniformly random unit vector of the given dimension,
+// drawn by normalizing a standard Gaussian sample.
+func RandomUnit(dim int, rng *rand.Rand) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return Normalize(v)
+}
+
+// RandomGaussian returns a vector with i.i.d. N(mean, sigma^2) entries.
+func RandomGaussian(dim int, mean, sigma float64, rng *rand.Rand) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64()*sigma + mean)
+	}
+	return v
+}
+
+// PerturbOnSphere returns a unit vector near center: center + N(0, sigma^2)
+// noise, renormalized. Larger sigma spreads the cluster wider on the sphere,
+// which raises intra-cluster cosine distances; the dataset generators use
+// this to control cluster tightness.
+func PerturbOnSphere(center []float32, sigma float64, rng *rand.Rand) []float32 {
+	v := make([]float32, len(center))
+	for i := range v {
+		v[i] = center[i] + float32(rng.NormFloat64()*sigma)
+	}
+	return Normalize(v)
+}
+
+// Projection is a dense Gaussian random-projection matrix mapping inDim
+// vectors to outDim vectors. Entries are N(0, 1/outDim), the standard
+// Johnson–Lindenstrauss scaling, matching the ANN-benchmark preprocessing
+// the paper applies to the NYTimes bag-of-words corpus.
+type Projection struct {
+	InDim  int
+	OutDim int
+	// rows[j] is the j-th output row, length InDim.
+	rows [][]float32
+}
+
+// NewProjection samples a Gaussian random projection with the given shape.
+func NewProjection(inDim, outDim int, rng *rand.Rand) *Projection {
+	if inDim <= 0 || outDim <= 0 {
+		panic("vecmath: projection dimensions must be positive")
+	}
+	p := &Projection{InDim: inDim, OutDim: outDim, rows: make([][]float32, outDim)}
+	scale := 1 / math.Sqrt(float64(outDim))
+	for j := range p.rows {
+		row := make([]float32, inDim)
+		for i := range row {
+			row[i] = float32(rng.NormFloat64() * scale)
+		}
+		p.rows[j] = row
+	}
+	return p
+}
+
+// Apply projects v (length InDim) to a fresh vector of length OutDim.
+func (p *Projection) Apply(v []float32) []float32 {
+	if len(v) != p.InDim {
+		panic("vecmath: projection input has wrong dimension")
+	}
+	out := make([]float32, p.OutDim)
+	for j, row := range p.rows {
+		out[j] = float32(Dot(row, v))
+	}
+	return out
+}
+
+// ApplySparse projects a sparse vector given as (index, value) pairs. This
+// is how the bag-of-words generator avoids materializing 100k-dimensional
+// dense count vectors.
+func (p *Projection) ApplySparse(indices []int, values []float32) []float32 {
+	out := make([]float32, p.OutDim)
+	for j, row := range p.rows {
+		var s float64
+		for k, idx := range indices {
+			s += float64(row[idx]) * float64(values[k])
+		}
+		out[j] = float32(s)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomUnitIsUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		v := RandomUnit(100, rng)
+		if !IsUnit(v, 1e-5) {
+			t.Fatalf("RandomUnit norm = %v", Norm(v))
+		}
+	}
+}
+
+func TestRandomGaussianMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := RandomGaussian(20000, 2, 0.5, rng)
+	var sum, sq float64
+	for _, x := range v {
+		sum += float64(x)
+		sq += float64(x) * float64(x)
+	}
+	n := float64(len(v))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("mean = %v, want ~2", mean)
+	}
+	if math.Abs(variance-0.25) > 0.05 {
+		t.Errorf("variance = %v, want ~0.25", variance)
+	}
+}
+
+func TestPerturbOnSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := RandomUnit(64, rng)
+	tight := PerturbOnSphere(c, 0.01, rng)
+	loose := PerturbOnSphere(c, 0.5, rng)
+	if !IsUnit(tight, 1e-5) || !IsUnit(loose, 1e-5) {
+		t.Fatal("perturbed vectors are not unit norm")
+	}
+	if CosineDistanceUnit(c, tight) > 0.05 {
+		t.Errorf("tight perturbation drifted too far: %v", CosineDistanceUnit(c, tight))
+	}
+}
+
+func TestProjectionShapeAndLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewProjection(50, 8, rng)
+	a := RandomGaussian(50, 0, 1, rng)
+	b := RandomGaussian(50, 0, 1, rng)
+	pa, pb := p.Apply(a), p.Apply(b)
+	psum := p.Apply(Add(a, b))
+	for j := 0; j < 8; j++ {
+		if math.Abs(float64(psum[j])-float64(pa[j])-float64(pb[j])) > 1e-4 {
+			t.Fatalf("projection is not linear at output %d", j)
+		}
+	}
+}
+
+func TestProjectionSparseAgreesWithDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewProjection(100, 16, rng)
+	dense := make([]float32, 100)
+	indices := []int{3, 17, 42, 99}
+	values := []float32{1.5, -2, 0.25, 4}
+	for k, idx := range indices {
+		dense[idx] = values[k]
+	}
+	pd := p.Apply(dense)
+	ps := p.ApplySparse(indices, values)
+	for j := range pd {
+		if math.Abs(float64(pd[j])-float64(ps[j])) > 1e-5 {
+			t.Fatalf("sparse/dense projection mismatch at %d: %v vs %v", j, pd[j], ps[j])
+		}
+	}
+}
+
+// Johnson–Lindenstrauss sanity: projected inner products of unit vectors
+// concentrate around the originals when the output dimension is moderate.
+func TestProjectionPreservesGeometryApproximately(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewProjection(200, 128, rng)
+	var errSum float64
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		a := RandomUnit(200, rng)
+		b := RandomUnit(200, rng)
+		orig := CosineDistance(a, b)
+		proj := CosineDistance(p.Apply(a), p.Apply(b))
+		errSum += math.Abs(orig - proj)
+	}
+	if avg := errSum / trials; avg > 0.15 {
+		t.Errorf("average cosine-distance distortion %v too large", avg)
+	}
+}
+
+func TestProjectionPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on bad dims")
+			}
+		}()
+		NewProjection(0, 4, rng)
+	}()
+	p := NewProjection(4, 2, rng)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on wrong input dim")
+			}
+		}()
+		p.Apply([]float32{1})
+	}()
+}

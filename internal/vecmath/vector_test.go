@@ -1,0 +1,152 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float32
+		want float64
+	}{
+		{[]float32{}, []float32{}, 0},
+		{[]float32{1}, []float32{2}, 2},
+		{[]float32{1, 2, 3}, []float32{4, 5, 6}, 32},
+		{[]float32{1, 0, -1, 2, 3}, []float32{2, 9, 4, -1, 1}, -1},
+		{[]float32{1, 1, 1, 1, 1, 1, 1, 1}, []float32{1, 1, 1, 1, 1, 1, 1, 1}, 8},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Dot(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched lengths")
+		}
+	}()
+	Dot([]float32{1, 2}, []float32{1})
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float32{3, 4}); !almostEqual(got, 5, 1e-9) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Errorf("Norm(nil) = %v, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	Normalize(v)
+	if !IsUnit(v, 1e-6) {
+		t.Errorf("Normalize produced norm %v", Norm(v))
+	}
+	zero := []float32{0, 0, 0}
+	Normalize(zero)
+	for _, x := range zero {
+		if x != 0 {
+			t.Errorf("Normalize(zero) changed the vector: %v", zero)
+		}
+	}
+}
+
+func TestNormalizedLeavesInputUnchanged(t *testing.T) {
+	v := []float32{1, 2, 2}
+	u := Normalized(v)
+	if v[0] != 1 || v[1] != 2 || v[2] != 2 {
+		t.Errorf("Normalized mutated its input: %v", v)
+	}
+	if !IsUnit(u, 1e-6) {
+		t.Errorf("Normalized output norm %v", Norm(u))
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := RandomGaussian(16, 0, 1, r)
+		if Norm(v) == 0 {
+			return true
+		}
+		once := Normalized(v)
+		twice := Normalized(once)
+		for i := range once {
+			if !almostEqual(float64(once[i]), float64(twice[i]), 1e-5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	sum := Add(a, b)
+	diff := Sub(sum, b)
+	for i := range a {
+		if diff[i] != a[i] {
+			t.Errorf("Sub(Add(a,b),b)[%d] = %v, want %v", i, diff[i], a[i])
+		}
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 20, 30}
+	AXPY(2, x, y)
+	want := []float32{12, 24, 36}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Errorf("AXPY[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := Scale(0.5, []float32{2, 4})
+	if v[0] != 1 || v[1] != 2 {
+		t.Errorf("Scale = %v", v)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float32{{1, 2}, {3, 4}})
+	if m[0] != 2 || m[1] != 3 {
+		t.Errorf("Mean = %v, want [2 3]", m)
+	}
+}
+
+func TestMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty mean")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestClone(t *testing.T) {
+	v := []float32{1, 2}
+	c := Clone(v)
+	c[0] = 9
+	if v[0] != 1 {
+		t.Error("Clone aliases its input")
+	}
+}

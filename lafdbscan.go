@@ -1,0 +1,249 @@
+// Package lafdbscan is a Go implementation of LAF, the Learned Accelerator
+// Framework for angular-distance-based high-dimensional DBSCAN (Wang &
+// Wang, EDBT 2023, arXiv:2302.03136), together with the full clustering
+// zoo of the paper's evaluation.
+//
+// LAF accelerates DBSCAN-like algorithms by placing a learned cardinality
+// estimator in front of every range query: points predicted to be non-core
+// or noise ("stop points") skip their query entirely, and a post-processing
+// pass repairs clusters that false-negative predictions split apart.
+//
+// # Quick start
+//
+//	data := lafdbscan.MSLike(4000, 1)      // 768-dim synthetic embeddings
+//	train, test := lafdbscan.Split(data, 0.8, 42)
+//
+//	est, _ := lafdbscan.TrainRMIEstimator(train.Vectors, lafdbscan.EstimatorConfig{
+//		TargetSize: test.Len(),
+//	})
+//	res, _ := lafdbscan.LAFDBSCAN(test.Vectors, lafdbscan.Params{
+//		Eps: 0.55, Tau: 5, Alpha: 2.0, Estimator: est,
+//	})
+//	fmt.Println(res.NumClusters, res.Elapsed)
+//
+// All algorithms expect unit-normalized vectors and interpret Eps as a
+// cosine distance (1 - cosine similarity, bounded in [0, 2]).
+package lafdbscan
+
+import (
+	"fmt"
+
+	"lafdbscan/internal/cardest"
+	"lafdbscan/internal/cluster"
+	"lafdbscan/internal/core"
+	"lafdbscan/internal/metrics"
+	"lafdbscan/internal/vecmath"
+)
+
+// Result is a clustering outcome: labels (cluster ids >= 1, or Noise),
+// cluster count, elapsed time, and the range-query accounting the paper's
+// efficiency analysis relies on.
+type Result = cluster.Result
+
+// Noise is the label assigned to noise points in Result.Labels.
+const Noise = cluster.Noise
+
+// Estimator predicts range-query cardinalities without executing the query.
+// Obtain one from TrainRMIEstimator (learned, the paper's configuration) or
+// the construction helpers in this package.
+type Estimator = cardest.Estimator
+
+// Params collects the parameters shared by all clustering entry points.
+// Zero values of optional fields select the paper's defaults.
+type Params struct {
+	// Eps is the cosine-distance threshold of the range queries.
+	Eps float64
+	// Tau is the minimum neighbor count (including the point itself) for a
+	// point to be core.
+	Tau int
+
+	// Alpha is LAF's error factor: a point is predicted core when the
+	// estimated cardinality is at least Alpha*Tau. Used by LAFDBSCAN and
+	// LAFDBSCANPP only. The paper tunes it per dataset (Table 1); 1.0 is
+	// the neutral setting.
+	Alpha float64
+	// Estimator is the cardinality estimator. Required for LAFDBSCAN and
+	// LAFDBSCANPP, ignored elsewhere.
+	Estimator Estimator
+	// DisablePostProcessing turns off LAF's repair pass (ablation).
+	DisablePostProcessing bool
+
+	// SampleFraction is DBSCAN++'s / LAF-DBSCAN++'s p in (0, 1].
+	SampleFraction float64
+
+	// Branching and LeavesRatio configure KNN-BLOCK DBSCAN's k-means tree
+	// (defaults 10 and 0.6, the paper's settings).
+	Branching   int
+	LeavesRatio float64
+
+	// Base and RNT configure BLOCK-DBSCAN's cover tree (defaults 2.0
+	// and 10, the paper's settings).
+	Base float64
+	RNT  int
+
+	// Rho is ρ-approximate DBSCAN's approximation factor (paper: 1.0).
+	Rho float64
+
+	// Metric selects the distance function for DBSCAN and LAFDBSCAN. The
+	// zero value, MetricCosine, is the paper's setting; MetricEuclidean
+	// implements its future-work extension (train the estimator with
+	// EstimatorConfig.Metric set accordingly).
+	Metric DistanceMetric
+
+	// Seed drives all randomized components.
+	Seed int64
+}
+
+// DistanceMetric identifies a distance function.
+type DistanceMetric = vecmath.Metric
+
+// The supported metrics.
+const (
+	// MetricCosine is the angular distance 1 - cos, bounded in [0, 2].
+	MetricCosine = vecmath.Cosine
+	// MetricEuclidean is the L2 distance. On unit vectors it relates to
+	// cosine distance by Equation 1 of the paper: d_euc = sqrt(2 * d_cos).
+	MetricEuclidean = vecmath.Euclidean
+)
+
+// CosineToEuclidean converts a cosine-distance threshold to the equivalent
+// Euclidean threshold for unit vectors (Equation 1 of the paper).
+func CosineToEuclidean(dcos float64) float64 { return vecmath.CosineToEuclidean(dcos) }
+
+// EuclideanToCosine is the inverse of CosineToEuclidean for unit vectors.
+func EuclideanToCosine(deuc float64) float64 { return vecmath.EuclideanToCosine(deuc) }
+
+// DBSCAN runs the original exact DBSCAN; its labeling is the ground truth
+// the paper scores every approximate method against.
+func DBSCAN(points [][]float32, p Params) (*Result, error) {
+	return (&cluster.DBSCAN{Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric}).Run()
+}
+
+// DBSCANPP runs DBSCAN++ with sample fraction p.SampleFraction.
+func DBSCANPP(points [][]float32, p Params) (*Result, error) {
+	return (&cluster.DBSCANPP{
+		Points: points, Eps: p.Eps, Tau: p.Tau,
+		P: p.SampleFraction, Seed: p.Seed,
+	}).Run()
+}
+
+// LAFDBSCAN runs the paper's LAF-enhanced DBSCAN (Algorithm 1).
+func LAFDBSCAN(points [][]float32, p Params) (*Result, error) {
+	if p.Alpha == 0 {
+		p.Alpha = 1
+	}
+	return (&core.LAFDBSCAN{Points: points, Config: core.Config{
+		Eps: p.Eps, Tau: p.Tau, Alpha: p.Alpha,
+		Estimator: p.Estimator, Metric: p.Metric, Seed: p.Seed,
+		DisablePostProcessing: p.DisablePostProcessing,
+	}}).Run()
+}
+
+// LAFDBSCANPP runs LAF-enhanced DBSCAN++ (the paper fixes its Alpha to 1.0;
+// pass Alpha explicitly to override).
+func LAFDBSCANPP(points [][]float32, p Params) (*Result, error) {
+	if p.Alpha == 0 {
+		p.Alpha = 1
+	}
+	return (&core.LAFDBSCANPP{Points: points, P: p.SampleFraction, Config: core.Config{
+		Eps: p.Eps, Tau: p.Tau, Alpha: p.Alpha,
+		Estimator: p.Estimator, Seed: p.Seed,
+		DisablePostProcessing: p.DisablePostProcessing,
+	}}).Run()
+}
+
+// KNNBlockDBSCAN runs the KNN-BLOCK DBSCAN baseline.
+func KNNBlockDBSCAN(points [][]float32, p Params) (*Result, error) {
+	return (&cluster.KNNBlock{
+		Points: points, Eps: p.Eps, Tau: p.Tau,
+		Branching: p.Branching, LeavesRatio: p.LeavesRatio, Seed: p.Seed,
+	}).Run()
+}
+
+// BlockDBSCAN runs the BLOCK-DBSCAN baseline.
+func BlockDBSCAN(points [][]float32, p Params) (*Result, error) {
+	return (&cluster.BlockDBSCAN{
+		Points: points, Eps: p.Eps, Tau: p.Tau,
+		Base: p.Base, RNT: p.RNT, Seed: p.Seed,
+	}).Run()
+}
+
+// RhoApproxDBSCAN runs the ρ-approximate DBSCAN baseline.
+func RhoApproxDBSCAN(points [][]float32, p Params) (*Result, error) {
+	return (&cluster.RhoApprox{
+		Points: points, Eps: p.Eps, Tau: p.Tau, Rho: p.Rho,
+	}).Run()
+}
+
+// PredictedCoreRatio returns Rc, the fraction of points the estimator
+// predicts as core. The paper sets DBSCAN++'s sample fraction to
+// delta + Rc with delta in 0.1-0.3.
+func PredictedCoreRatio(points [][]float32, est Estimator, eps float64, tau int, alpha float64) float64 {
+	return core.PredictedCoreRatio(points, est, eps, tau, alpha)
+}
+
+// Method names a clustering algorithm for the generic Cluster entry point
+// and the CLI tools.
+type Method string
+
+// The supported methods.
+const (
+	MethodDBSCAN      Method = "dbscan"
+	MethodDBSCANPP    Method = "dbscan++"
+	MethodLAFDBSCAN   Method = "laf-dbscan"
+	MethodLAFDBSCANPP Method = "laf-dbscan++"
+	MethodKNNBlock    Method = "knn-block"
+	MethodBlockDBSCAN Method = "block-dbscan"
+	MethodRhoApprox   Method = "rho-approx"
+)
+
+// Methods lists every supported method in the paper's reporting order.
+func Methods() []Method {
+	return []Method{
+		MethodDBSCAN, MethodKNNBlock, MethodBlockDBSCAN,
+		MethodDBSCANPP, MethodLAFDBSCAN, MethodLAFDBSCANPP,
+	}
+}
+
+// Cluster dispatches to the named method.
+func Cluster(points [][]float32, m Method, p Params) (*Result, error) {
+	switch m {
+	case MethodDBSCAN:
+		return DBSCAN(points, p)
+	case MethodDBSCANPP:
+		return DBSCANPP(points, p)
+	case MethodLAFDBSCAN:
+		return LAFDBSCAN(points, p)
+	case MethodLAFDBSCANPP:
+		return LAFDBSCANPP(points, p)
+	case MethodKNNBlock:
+		return KNNBlockDBSCAN(points, p)
+	case MethodBlockDBSCAN:
+		return BlockDBSCAN(points, p)
+	case MethodRhoApprox:
+		return RhoApproxDBSCAN(points, p)
+	default:
+		return nil, fmt.Errorf("lafdbscan: unknown method %q", m)
+	}
+}
+
+// ARI returns the Adjusted Rand Index between two labelings.
+func ARI(truth, pred []int) (float64, error) { return metrics.ARI(truth, pred) }
+
+// AMI returns the Adjusted Mutual Information score between two labelings.
+func AMI(truth, pred []int) (float64, error) { return metrics.AMI(truth, pred) }
+
+// ClusteringStats summarizes a labeling (noise ratio, cluster count/sizes).
+type ClusteringStats = metrics.ClusteringStats
+
+// Stats computes the summary of a labeling.
+func Stats(labels []int) ClusteringStats { return metrics.Stats(labels) }
+
+// MissedClusterStats reports the paper's Table 6 fully-missed-cluster
+// analysis.
+type MissedClusterStats = metrics.MissedClusterStats
+
+// MissedClusters compares a predicted labeling against ground truth.
+func MissedClusters(truth, pred []int) (MissedClusterStats, error) {
+	return metrics.MissedClusters(truth, pred)
+}

@@ -1,0 +1,194 @@
+package lafdbscan
+
+import (
+	"testing"
+)
+
+func testData() *Dataset {
+	return GenerateMixture("facade", MixtureConfig{
+		N: 300, Dim: 24, Clusters: 5, MinSpread: 0.2, MaxSpread: 0.4,
+		NoiseFrac: 0.2, Seed: 61,
+	})
+}
+
+func TestFacadeDBSCANAndLAF(t *testing.T) {
+	d := testData()
+	p := Params{Eps: 0.5, Tau: 4}
+	truth, err := DBSCAN(d.Vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.NumClusters == 0 {
+		t.Fatal("DBSCAN found nothing")
+	}
+	p.Estimator = ExactEstimator(d.Vectors)
+	p.Alpha = 1
+	res, err := LAFDBSCAN(d.Vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := ARI(truth.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.999 {
+		t.Errorf("facade LAF-DBSCAN ARI = %v", ari)
+	}
+}
+
+func TestFacadeAlphaDefaultsToOne(t *testing.T) {
+	d := testData()
+	res, err := LAFDBSCAN(d.Vectors, Params{
+		Eps: 0.5, Tau: 4, Estimator: ExactEstimator(d.Vectors),
+	})
+	if err != nil {
+		t.Fatalf("zero alpha not defaulted: %v", err)
+	}
+	if res.NumClusters == 0 {
+		t.Error("no clusters")
+	}
+}
+
+func TestClusterDispatch(t *testing.T) {
+	d := testData()
+	p := Params{
+		Eps: 0.5, Tau: 4, Alpha: 1,
+		Estimator:      ExactEstimator(d.Vectors),
+		SampleFraction: 0.5,
+		Rho:            1.0,
+	}
+	for _, m := range append(Methods(), MethodRhoApprox) {
+		res, err := Cluster(d.Vectors, m, p)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(res.Labels) != d.Len() {
+			t.Fatalf("%s: wrong label count", m)
+		}
+	}
+	if _, err := Cluster(d.Vectors, Method("nope"), p); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestFacadeEstimators(t *testing.T) {
+	d := testData()
+	q := d.Vectors[0]
+	exact := ExactEstimator(d.Vectors).Estimate(q, 0.5)
+	if exact < 1 {
+		t.Fatalf("exact estimate %v < 1 (self)", exact)
+	}
+	s := SamplingEstimator(d.Vectors, 100, 1).Estimate(q, 0.5)
+	if s < 0 {
+		t.Errorf("sampling estimate %v", s)
+	}
+	h := HistogramEstimator(d.Vectors, 10, 1).Estimate(q, 0.5)
+	if h < 0 {
+		t.Errorf("histogram estimate %v", h)
+	}
+}
+
+func TestTrainRMIEstimatorFacade(t *testing.T) {
+	d := testData()
+	train, test := Split(d, 0.8, 7)
+	if train.Len()+test.Len() != d.Len() {
+		t.Fatal("split broken")
+	}
+	est, err := TrainRMIEstimator(train.Vectors, EstimatorConfig{
+		TargetSize: test.Len(),
+		Hidden:     []int{12, 8},
+		Epochs:     10,
+		MaxQueries: 100,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LAFDBSCAN(test.Vectors, Params{Eps: 0.5, Tau: 3, Alpha: 1, Estimator: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != test.Len() {
+		t.Fatal("wrong label count")
+	}
+}
+
+func TestTrainRMIEstimatorEmptyInput(t *testing.T) {
+	if _, err := TrainRMIEstimator(nil, EstimatorConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestPredictedCoreRatioFacade(t *testing.T) {
+	d := testData()
+	rc := PredictedCoreRatio(d.Vectors, ExactEstimator(d.Vectors), 0.5, 4, 1.0)
+	if rc <= 0 || rc > 1 {
+		t.Errorf("Rc = %v", rc)
+	}
+}
+
+func TestMetricsFacade(t *testing.T) {
+	a := []int{1, 1, 2, 2, Noise}
+	ari, err := ARI(a, a)
+	if err != nil || ari != 1 {
+		t.Errorf("ARI self = %v (%v)", ari, err)
+	}
+	ami, err := AMI(a, a)
+	if err != nil || ami != 1 {
+		t.Errorf("AMI self = %v (%v)", ami, err)
+	}
+	s := Stats(a)
+	if s.NumClusters != 2 || s.NumNoise != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+	mc, err := MissedClusters(a, []int{Noise, Noise, 3, 3, Noise})
+	if err != nil || mc.MissedClusters != 1 {
+		t.Errorf("MissedClusters = %+v (%v)", mc, err)
+	}
+}
+
+func TestDatasetFamiliesFacade(t *testing.T) {
+	if GloVeLike(40, 1).Dim() != 200 {
+		t.Error("GloVeLike dim")
+	}
+	if MSLike(40, 1).Dim() != 768 {
+		t.Error("MSLike dim")
+	}
+	if NYTLike(40, 1).Dim() != 256 {
+		t.Error("NYTLike dim")
+	}
+}
+
+func TestLoadDatasetMissingFile(t *testing.T) {
+	if _, err := LoadDataset("/nonexistent/path.lafd"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveLoadEstimator(t *testing.T) {
+	d := testData()
+	est, err := TrainRMIEstimator(d.Vectors, EstimatorConfig{
+		Hidden: []int{8}, Epochs: 5, MaxQueries: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/est.gob"
+	if err := SaveEstimator(est, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEstimator(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.Vectors[0]
+	if a, b := est.Estimate(q, 0.5), loaded.Estimate(q, 0.5); a != b {
+		t.Errorf("round trip changed prediction: %v vs %v", a, b)
+	}
+	if err := SaveEstimator(ExactEstimator(d.Vectors), path); err == nil {
+		t.Error("non-serializable estimator accepted")
+	}
+	if _, err := LoadEstimator(t.TempDir() + "/missing.gob"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
