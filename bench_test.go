@@ -19,6 +19,7 @@ package lafdbscan
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -243,6 +244,99 @@ func BenchmarkAblationEstimators(b *testing.B) {
 			b.ReportMetric(lastARI, "ARI")
 		})
 	}
+}
+
+// BenchmarkParallelDBSCAN compares the sequential DBSCAN driver against the
+// parallel engine at 1, 4 and NumCPU workers on the synthetic benchmark
+// datasets. The parallel engine's labels are identical to the sequential
+// driver's (asserted on the first iteration), so the timing difference is
+// pure engine overhead/speedup. On a multi-core machine the NumCPU
+// configuration is expected to run >= 2x faster than the sequential driver;
+// with a single core the parallel engine should roughly tie.
+func BenchmarkParallelDBSCAN(b *testing.B) {
+	d := GenerateMixture("par-bench", MixtureConfig{
+		N: 2500, Dim: 256, Clusters: 20, MinSpread: 0.2, MaxSpread: 0.6,
+		NoiseFrac: 0.2, SizeSkew: 1.1, EffectiveDim: 48, Seed: 77,
+	})
+	p := Params{Eps: 0.5, Tau: 4}
+	seq, err := DBSCAN(d.Vectors, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := benchWorkerCounts()
+	for _, wkr := range workerCounts {
+		pp := p
+		pp.Workers = wkr
+		res, err := DBSCAN(d.Vectors, pp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ari, _ := ARI(seq.Labels, res.Labels); ari != 1.0 {
+			b.Fatalf("workers=%d: ARI vs sequential = %v, want 1.0", wkr, ari)
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DBSCAN(d.Vectors, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, wkr := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", wkr), func(b *testing.B) {
+			pp := p
+			pp.Workers = wkr
+			for i := 0; i < b.N; i++ {
+				if _, err := DBSCAN(d.Vectors, pp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelLAFDBSCAN is the same comparison for the LAF fast path:
+// the learned gate plus the parallel engine, against the paper's sequential
+// formulation.
+func BenchmarkParallelLAFDBSCAN(b *testing.B) {
+	d := GenerateMixture("par-laf-bench", MixtureConfig{
+		N: 2500, Dim: 256, Clusters: 20, MinSpread: 0.2, MaxSpread: 0.6,
+		NoiseFrac: 0.2, SizeSkew: 1.1, EffectiveDim: 48, Seed: 78,
+	})
+	p := Params{Eps: 0.5, Tau: 4, Alpha: 1.2, Estimator: ExactEstimator(d.Vectors), Seed: 1}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := LAFDBSCAN(d.Vectors, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, wkr := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", wkr), func(b *testing.B) {
+			pp := p
+			pp.Workers = wkr
+			for i := 0; i < b.N; i++ {
+				if _, err := LAFDBSCAN(d.Vectors, pp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchWorkerCounts is the 1/4/NumCPU sweep of the parallel benchmarks,
+// deduplicated for machines where those coincide.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	out := counts[:0]
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // BenchmarkRangeQuery measures the raw cost LAF amortizes away: one

@@ -27,9 +27,15 @@ func main() {
 	log.SetPrefix("lafbench: ")
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: all, table1..table6, figure1..figure4, ablation")
+	workers := flag.Int("workers", 0,
+		"parallel engine workers for DBSCAN and the LAF variants: 0 sequential (the paper's configuration), -1 all cores")
+	batchSize := flag.Int("batch", 0, "queries per parallel work unit (0 = auto)")
 	flag.Parse()
 
-	w := bench.NewWorkbench(bench.DefaultConfig())
+	cfg := bench.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.BatchSize = *batchSize
+	w := bench.NewWorkbench(cfg)
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
 			return

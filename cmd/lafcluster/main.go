@@ -34,6 +34,8 @@ func main() {
 		p         = flag.Float64("p", 0.3, "sample fraction for the ++ variants")
 		seed      = flag.Int64("seed", 1, "seed")
 		compare   = flag.Bool("compare", false, "also run exact DBSCAN and report ARI/AMI")
+		workers   = flag.Int("workers", 0, "parallel engine workers for dbscan/laf methods: 0 sequential, -1 all cores")
+		batchSize = flag.Int("batch", 0, "queries per parallel work unit (0 = auto)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -48,6 +50,7 @@ func main() {
 	params := lafdbscan.Params{
 		Eps: *eps, Tau: *tau, Alpha: *alpha,
 		SampleFraction: *p, Rho: 1.0, Seed: *seed,
+		Workers: *workers, BatchSize: *batchSize,
 	}
 	m := lafdbscan.Method(*method)
 	if m == lafdbscan.MethodLAFDBSCAN || m == lafdbscan.MethodLAFDBSCANPP {

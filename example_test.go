@@ -7,13 +7,20 @@ import (
 )
 
 // The full pipeline: generate data, train the learned estimator on the 80%
-// split, cluster the 20% split with LAF-DBSCAN.
+// split, cluster the 20% split with LAF-DBSCAN. The training budget here is
+// documentation-sized so the example stays fast; real runs can drop the
+// Hidden/Epochs/MaxQueries overrides to get the defaults. Examples always
+// execute under go test (they cannot consult testing.Short), so this is
+// what keeps the root package's -short runs quick.
 func ExampleLAFDBSCAN() {
-	data := lafdbscan.MSLike(1000, 1)
+	data := lafdbscan.MSLike(400, 1)
 	train, test := lafdbscan.Split(data, 0.8, 42)
 
 	est, err := lafdbscan.TrainRMIEstimator(train.Vectors, lafdbscan.EstimatorConfig{
 		TargetSize: test.Len(),
+		Hidden:     []int{24, 12},
+		Epochs:     8,
+		MaxQueries: 120,
 		Seed:       1,
 	})
 	if err != nil {
@@ -21,6 +28,7 @@ func ExampleLAFDBSCAN() {
 	}
 	res, err := lafdbscan.LAFDBSCAN(test.Vectors, lafdbscan.Params{
 		Eps: 0.55, Tau: 5, Alpha: 1.2, Estimator: est,
+		Workers: lafdbscan.WorkersAuto, // parallel engine across all cores
 	})
 	if err != nil {
 		panic(err)

@@ -1,0 +1,3 @@
+module lafdbscan
+
+go 1.22

@@ -6,6 +6,16 @@ import (
 	"testing"
 )
 
+// skipInShort gates the tests that run full harness experiments (clustering
+// every method over the workbench datasets) out of -short runs, matching
+// the claims/metric test convention at the repository root.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("runs the full experiment harness")
+	}
+}
+
 // tinyConfig keeps the full-suite test fast: every dataset is a few hundred
 // points and the estimator trains for a handful of epochs.
 func tinyConfig() Config {
@@ -63,6 +73,7 @@ func TestRunMethodUnknown(t *testing.T) {
 }
 
 func TestSampleFractionInRange(t *testing.T) {
+	skipInShort(t)
 	w := NewWorkbench(tinyConfig())
 	p, err := w.SampleFraction(KeyGlove, Setting{0.5, 3})
 	if err != nil {
@@ -94,6 +105,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
+	skipInShort(t)
 	w := NewWorkbench(tinyConfig())
 	cells, err := w.Table2()
 	if err != nil {
@@ -115,6 +127,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestQualityAndTimes(t *testing.T) {
+	skipInShort(t)
 	w := NewWorkbench(tinyConfig())
 	keys := []string{KeyGlove}
 	settings := []Setting{{0.5, 3}}
@@ -151,6 +164,7 @@ func TestQualityAndTimes(t *testing.T) {
 }
 
 func TestTable4(t *testing.T) {
+	skipInShort(t)
 	w := NewWorkbench(tinyConfig())
 	rows, err := w.Table4()
 	if err != nil {
@@ -167,6 +181,7 @@ func TestTable4(t *testing.T) {
 }
 
 func TestTable6(t *testing.T) {
+	skipInShort(t)
 	w := NewWorkbench(tinyConfig())
 	rows, err := w.Table6()
 	if err != nil {
@@ -188,6 +203,7 @@ func TestTable6(t *testing.T) {
 }
 
 func TestTradeoffSweep(t *testing.T) {
+	skipInShort(t)
 	w := NewWorkbench(tinyConfig())
 	pts, err := w.Tradeoff(KeyGlove)
 	if err != nil {
@@ -217,6 +233,7 @@ func TestTradeoffSweep(t *testing.T) {
 }
 
 func TestFigure4(t *testing.T) {
+	skipInShort(t)
 	w := NewWorkbench(tinyConfig())
 	rows, err := w.Figure4()
 	if err != nil {
@@ -260,6 +277,7 @@ func TestDefaultConfigScaleEnv(t *testing.T) {
 }
 
 func TestPostProcessingAblation(t *testing.T) {
+	skipInShort(t)
 	w := NewWorkbench(tinyConfig())
 	rows, err := w.PostProcessingAblation()
 	if err != nil {

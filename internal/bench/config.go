@@ -38,6 +38,14 @@ type Config struct {
 	Delta float64
 	// Seed drives everything.
 	Seed int64
+	// Workers selects the clustering engine for the DBSCAN and LAF rows:
+	// 0 runs the sequential reference implementations (the paper's
+	// configuration), non-zero runs the parallel engines (< 0 = all
+	// cores). Parallel DBSCAN labels are identical to sequential, so
+	// ground truths stay exact.
+	Workers int
+	// BatchSize is the parallel engines' per-worker query chunk (0 = auto).
+	BatchSize int
 }
 
 // DefaultConfig returns the workload selected by LAF_BENCH_SCALE

@@ -9,6 +9,7 @@ import (
 	"lafdbscan/internal/cluster"
 	"lafdbscan/internal/core"
 	"lafdbscan/internal/dataset"
+	"lafdbscan/internal/index"
 	"lafdbscan/internal/rmi"
 	"lafdbscan/internal/vecmath"
 )
@@ -159,7 +160,14 @@ func (w *Workbench) GroundTruth(key string, s Setting) (*cluster.Result, error) 
 	}
 	w.mu.Unlock()
 	d := w.data(key)
-	res, err := (&cluster.DBSCAN{Points: d.test.Vectors, Eps: s.Eps, Tau: s.Tau}).Run()
+	var res *cluster.Result
+	var err error
+	if w.Cfg.Workers != 0 {
+		res, err = (&cluster.ParallelDBSCAN{Points: d.test.Vectors, Eps: s.Eps, Tau: s.Tau,
+			Workers: index.AutoWorkers(w.Cfg.Workers), BatchSize: w.Cfg.BatchSize}).Run()
+	} else {
+		res, err = (&cluster.DBSCAN{Points: d.test.Vectors, Eps: s.Eps, Tau: s.Tau}).Run()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +235,7 @@ func (w *Workbench) RunMethod(method, key string, s Setting) (*cluster.Result, e
 		return (&core.LAFDBSCAN{Points: pts, Config: core.Config{
 			Eps: s.Eps, Tau: s.Tau, Alpha: w.Alpha(key),
 			Estimator: est, Seed: w.Cfg.Seed,
+			Workers: w.Cfg.Workers, BatchSize: w.Cfg.BatchSize,
 		}}).Run()
 	case "LAF-DBSCAN++":
 		est, err := w.Estimator(key)
@@ -240,6 +249,7 @@ func (w *Workbench) RunMethod(method, key string, s Setting) (*cluster.Result, e
 		return (&core.LAFDBSCANPP{Points: pts, P: p, Config: core.Config{
 			Eps: s.Eps, Tau: s.Tau, Alpha: 1.0, // the paper fixes alpha=1 here
 			Estimator: est, Seed: w.Cfg.Seed,
+			Workers: w.Cfg.Workers, BatchSize: w.Cfg.BatchSize,
 		}}).Run()
 	case "rho-approx":
 		return (&cluster.RhoApprox{Points: pts, Eps: s.Eps, Tau: s.Tau, Rho: 1.0}).Run()

@@ -78,6 +78,14 @@ func (d *DBSCANPP) Run() (*Result, error) {
 // neighbor list), then assign every unlabeled point to the cluster of its
 // closest core point when within ε.
 func ClusterCoresAndAssign(points [][]float32, eps float64, cores []int, coreNeighbors map[int][]int) []int {
+	return ClusterCoresAndAssignWorkers(points, eps, cores, coreNeighbors, 1, 0)
+}
+
+// ClusterCoresAndAssignWorkers is ClusterCoresAndAssign with the
+// per-point nearest-core assignment spread over a worker pool (each point's
+// assignment is independent, so the labeling is identical at any worker
+// count). workers <= 0 selects GOMAXPROCS; batch sizes the work chunks.
+func ClusterCoresAndAssignWorkers(points [][]float32, eps float64, cores []int, coreNeighbors map[int][]int, workers, batch int) []int {
 	n := len(points)
 	labels := make([]int, n)
 	for i := range labels {
@@ -112,9 +120,9 @@ func ClusterCoresAndAssign(points [][]float32, eps float64, cores []int, coreNei
 		labels[c] = id
 	}
 	// Assign all remaining points to the closest core point within eps.
-	for i := 0; i < n; i++ {
+	index.ForEach(n, workers, batch, func(i int) {
 		if labels[i] != Undefined {
-			continue
+			return
 		}
 		best, bestD := -1, eps
 		for _, c := range cores {
@@ -127,6 +135,6 @@ func ClusterCoresAndAssign(points [][]float32, eps float64, cores []int, coreNei
 		} else {
 			labels[i] = Noise
 		}
-	}
+	})
 	return labels
 }

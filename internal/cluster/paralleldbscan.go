@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"time"
+
+	"lafdbscan/internal/index"
+	"lafdbscan/internal/vecmath"
+)
+
+// ParallelDBSCAN is exact DBSCAN restructured for multi-core execution. The
+// sequential algorithm's breadth-first expansion serializes its range
+// queries — each query's result decides the next — but the clustering it
+// computes depends only on two order-free facts: which points are core
+// (|N(p)| >= Tau) and which core points are ε-connected. The parallel
+// driver exploits that:
+//
+//  1. Neighbor discovery: every point's range query runs on a worker pool
+//     (the dominant cost, embarrassingly parallel).
+//  2. Merge: core points are unioned with their core neighbors through a
+//     lock-free union-find, in parallel.
+//  3. Label resolution (sequential, linear): cluster ids are numbered by
+//     first-core scan order and border points take the minimum cluster id
+//     among the clusters of their core neighbors.
+//
+// Phase 3's two rules reproduce the sequential traversal exactly: DBSCAN's
+// outer loop starts each cluster at its lowest-indexed core point (core
+// points are never absorbed as border points of other clusters), and each
+// cluster expands fully before the scan resumes, so a contested border
+// point is always claimed by the earliest-numbered adjacent cluster. Run
+// therefore returns labels identical — not merely equivalent — to
+// DBSCAN.Run on the same inputs.
+//
+// Memory: phase 1 materializes every neighbor list at once, so peak memory
+// is O(Σ|N(p)|) where the sequential driver holds one list at a time. At
+// very large scales with dense eps, process the data in epochs of waves
+// instead (see ROADMAP.md) — only core points' lists are needed by phase 3.
+type ParallelDBSCAN struct {
+	// Points, Eps, Tau, Metric and Index have DBSCAN's semantics.
+	Points [][]float32
+	Eps    float64
+	Tau    int
+	Metric vecmath.Metric
+	Index  index.RangeSearcher
+	// Workers sizes the query/merge worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// BatchSize is the number of queries a worker claims at a time; <= 0
+	// selects a load-balancing default.
+	BatchSize int
+}
+
+// Run clusters the points.
+func (d *ParallelDBSCAN) Run() (*Result, error) {
+	n := len(d.Points)
+	if err := validateParams(n, d.Eps, d.Tau); err != nil {
+		return nil, err
+	}
+	idx := d.Index
+	if idx == nil {
+		idx = index.NewBruteForce(d.Points, metricFunc(d.Metric))
+	}
+	start := time.Now()
+	res := &Result{Algorithm: "DBSCAN", RangeQueries: n}
+
+	// Phase 1: all neighborhoods, one batched sweep over the worker pool.
+	neighbors := index.BatchRangeSearch(idx, d.Points, d.Eps, d.Workers, d.BatchSize)
+	core := make([]bool, n)
+	for i, nb := range neighbors {
+		core[i] = len(nb) >= d.Tau
+	}
+
+	// Phase 2: ε-connectivity of core points via lock-free union-find. A
+	// core's neighbor list already contains every core within ε of it, so
+	// no extra distance work is needed; symmetric duplicates are no-ops.
+	uf := NewAtomicUnionFind(n)
+	index.ForEach(n, d.Workers, d.BatchSize, func(p int) {
+		if !core[p] {
+			return
+		}
+		for _, q := range neighbors[p] {
+			if core[q] && q != p {
+				uf.Union(p, q)
+			}
+		}
+	})
+
+	// Phase 3: sequential label resolution.
+	res.Labels = ResolveCoreLabels(neighbors, core, uf)
+	res.Elapsed = time.Since(start)
+	res.finalize()
+	return res, nil
+}
+
+// ResolveCoreLabels turns the (neighbors, core, components) facts into the
+// labeling sequential DBSCAN would produce: cluster ids numbered by
+// first-core scan order, border points claimed by their lowest-numbered
+// adjacent cluster, everything else noise. neighbors may be nil at indexes
+// that were never queried (the LAF drivers skip predicted stop points);
+// such points can only receive labels as borders of queried cores.
+func ResolveCoreLabels(neighbors [][]int, core []bool, uf *AtomicUnionFind) []int {
+	n := len(neighbors)
+	labels := make([]int, n) // 0 = unassigned, cluster ids start at 1
+	componentID := make(map[int]int)
+	c := 0
+	for p := 0; p < n; p++ {
+		if !core[p] {
+			continue
+		}
+		root := uf.Find(p)
+		id, ok := componentID[root]
+		if !ok {
+			c++
+			id = c
+			componentID[root] = id
+		}
+		labels[p] = id
+	}
+	for p := 0; p < n; p++ {
+		if !core[p] {
+			continue
+		}
+		id := labels[p]
+		for _, q := range neighbors[p] {
+			if !core[q] && (labels[q] == 0 || labels[q] > id) {
+				labels[q] = id
+			}
+		}
+	}
+	for i, l := range labels {
+		if l == 0 {
+			labels[i] = Noise
+		}
+	}
+	return labels
+}

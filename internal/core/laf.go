@@ -132,6 +132,20 @@ type Config struct {
 	Seed int64
 	// DisablePostProcessing turns Algorithm 3 off, for ablations.
 	DisablePostProcessing bool
+	// Workers selects the execution engine: 0 runs the sequential
+	// reference implementation (the paper's formulation), any other value
+	// runs the parallel engine with that many workers (< 0 selects
+	// GOMAXPROCS). The parallel engine gates, queries and merges in
+	// batches; its labels match the sequential engine's exactly when
+	// post-processing is disabled, and its partial-neighbor map is the
+	// complete (traversal-order-free) version — a superset of the
+	// sequential one — when it is enabled. The Estimator must be safe for
+	// concurrent use (all implementations in internal/cardest are).
+	Workers int
+	// BatchSize is the number of queries a parallel worker claims at a
+	// time; <= 0 selects a load-balancing default. Ignored by the
+	// sequential engine.
+	BatchSize int
 }
 
 func (c *Config) validate(n int) error {

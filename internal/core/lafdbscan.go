@@ -34,6 +34,9 @@ func (l *LAFDBSCAN) Run() (*cluster.Result, error) {
 		}
 		idx = index.NewBruteForce(l.Points, dist)
 	}
+	if l.Config.Workers != 0 {
+		return l.runParallel(idx)
+	}
 	cfg := l.Config
 	threshold := cfg.Alpha * float64(cfg.Tau)
 	est := cfg.Estimator

@@ -38,6 +38,9 @@ func (l *LAFDBSCANPP) Run() (*cluster.Result, error) {
 	if idx == nil {
 		idx = index.NewBruteForce(l.Points, vecmath.CosineDistanceUnit)
 	}
+	if l.Config.Workers != 0 {
+		return l.runParallel(idx)
+	}
 	cfg := l.Config
 	threshold := cfg.Alpha * float64(cfg.Tau)
 	est := cfg.Estimator

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"lafdbscan/internal/cluster"
+	"lafdbscan/internal/index"
+)
+
+// This file holds the multi-core engines behind LAFDBSCAN.Run and
+// LAFDBSCANPP.Run when Config.Workers != 0. The sequential formulations
+// interleave gating, querying and labeling point-by-point, but none of the
+// three depends on traversal order:
+//
+//   - the estimator gate is a pure per-point predicate,
+//   - the range queries of the predicted-core points are independent,
+//   - clusters are the ε-connected components of the actual core points,
+//     with the same border/noise rules the parallel DBSCAN driver resolves.
+//
+// So the parallel engines run gate → batched queries → lock-free merge →
+// sequential label resolution, and produce labels identical to their
+// sequential counterparts when post-processing is disabled. With
+// post-processing enabled the engines differ in one deliberate way: the
+// sequential traversal only records a partial neighbor into E when the stop
+// point was discovered before the querying point ran (Algorithm 2 updates
+// existing entries only), so its E depends on visit order; the parallel
+// engines register every predicted stop point first and then apply every
+// executed query, yielding the complete, order-free map — a superset of the
+// sequential one, which can only give Algorithm 3 more repair evidence.
+
+// poolParams maps the Config knobs onto the index-layer worker-pool
+// arguments, where <= 0 means "auto" (GOMAXPROCS / default grain).
+func poolParams(cfg Config) (workers, grain int) {
+	return index.AutoWorkers(cfg.Workers), cfg.BatchSize
+}
+
+// gateAll evaluates the estimator gate for the points at ids in parallel
+// and returns the predicted-core mask, aligned with ids.
+func gateAll(points [][]float32, ids []int, cfg Config, workers, grain int) []bool {
+	threshold := cfg.Alpha * float64(cfg.Tau)
+	predicted := make([]bool, len(ids))
+	index.ForEach(len(ids), workers, grain, func(k int) {
+		predicted[k] = cfg.Estimator.Estimate(points[ids[k]], cfg.Eps) >= threshold
+	})
+	return predicted
+}
+
+// runParallel is LAF-DBSCAN's multi-core engine.
+func (l *LAFDBSCAN) runParallel(idx index.RangeSearcher) (*cluster.Result, error) {
+	cfg := l.Config
+	n := len(l.Points)
+	workers, grain := poolParams(cfg)
+
+	start := time.Now()
+	res := &cluster.Result{Algorithm: "LAF-DBSCAN"}
+
+	// Phase 0: estimator gate for every point (lines 6-9 and 22-27 of
+	// Algorithm 1, hoisted out of the traversal).
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	predictedCore := gateAll(l.Points, all, cfg, workers, grain)
+	queried := make([]int, 0, n)
+	for i, pc := range predictedCore {
+		if pc {
+			queried = append(queried, i)
+		}
+	}
+	res.RangeQueries = len(queried)
+	res.SkippedQueries = n - len(queried)
+
+	// Phase 1: batched range queries for the predicted-core points only.
+	qpts := make([][]float32, len(queried))
+	for k, id := range queried {
+		qpts[k] = l.Points[id]
+	}
+	results := index.BatchRangeSearch(idx, qpts, cfg.Eps, workers, grain)
+	neighbors := make([][]int, n)
+	core := make([]bool, n)
+	for k, id := range queried {
+		neighbors[id] = results[k]
+		core[id] = len(results[k]) >= cfg.Tau
+	}
+
+	// Phase 2: lock-free merge of ε-connected core points.
+	uf := cluster.NewAtomicUnionFind(n)
+	index.ForEach(n, workers, grain, func(p int) {
+		if !core[p] {
+			return
+		}
+		for _, q := range neighbors[p] {
+			if core[q] && q != p {
+				uf.Union(p, q)
+			}
+		}
+	})
+
+	// Phase 3: sequential label resolution, same rules as ParallelDBSCAN.
+	res.Labels = cluster.ResolveCoreLabels(neighbors, core, uf)
+
+	// Complete partial-neighbor map: every stop point, every executed query.
+	if !cfg.DisablePostProcessing {
+		e := make(PartialNeighbors)
+		for i, pc := range predictedCore {
+			if !pc {
+				e.Ensure(i)
+			}
+		}
+		for _, p := range queried {
+			e.Update(p, neighbors[p])
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		res.PostMerges = PostProcess(res.Labels, e, cfg.Tau, rng)
+	}
+	res.Elapsed = time.Since(start)
+	finalize(res)
+	return res, nil
+}
+
+// runParallel is LAF-DBSCAN++'s multi-core engine. The rng stream is
+// consumed in the same order as the sequential engine (sample permutation
+// first, post-processing second), so a fixed seed selects the same sample.
+func (l *LAFDBSCANPP) runParallel(idx index.RangeSearcher) (*cluster.Result, error) {
+	cfg := l.Config
+	n := len(l.Points)
+	workers, grain := poolParams(cfg)
+
+	start := time.Now()
+	res := &cluster.Result{Algorithm: "LAF-DBSCAN++"}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := int(float64(n) * l.P)
+	if m < 1 {
+		m = 1
+	}
+	sample := rng.Perm(n)[:m]
+
+	// Parallel gate over the sample, then batched queries for the
+	// predicted-core sample points.
+	predictedCore := gateAll(l.Points, sample, cfg, workers, grain)
+	queried := make([]int, 0, m)
+	e := make(PartialNeighbors)
+	for k, s := range sample {
+		if predictedCore[k] {
+			queried = append(queried, s)
+		} else {
+			e.Ensure(s)
+			res.SkippedQueries++
+		}
+	}
+	qpts := make([][]float32, len(queried))
+	for k, s := range queried {
+		qpts[k] = l.Points[s]
+	}
+	results := index.BatchRangeSearch(idx, qpts, cfg.Eps, workers, grain)
+	res.RangeQueries = len(queried)
+
+	// Core detection preserves sample order, so cluster numbering matches
+	// the sequential engine.
+	cores := make([]int, 0, len(queried))
+	coreNeighbors := make(map[int][]int, len(queried))
+	for k, s := range queried {
+		e.Update(s, results[k])
+		if len(results[k]) >= cfg.Tau {
+			cores = append(cores, s)
+			coreNeighbors[s] = results[k]
+		}
+	}
+
+	res.Labels = cluster.ClusterCoresAndAssignWorkers(l.Points, cfg.Eps, cores, coreNeighbors, workers, grain)
+	if !cfg.DisablePostProcessing {
+		res.PostMerges = PostProcess(res.Labels, e, cfg.Tau, rng)
+	}
+	res.Elapsed = time.Since(start)
+	finalize(res)
+	return res, nil
+}

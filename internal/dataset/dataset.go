@@ -6,6 +6,11 @@
 // angular distances, high-density cores separated by sparse regions,
 // heavy-tailed cluster sizes and a tunable noise floor — without requiring
 // the original corpora or a GPU encoder (see DESIGN.md, Substitutions).
+//
+// Every generator owns a private rand.Rand seeded from its config — none
+// touch the global math/rand source — so generation is deterministic per
+// (config, seed) and safe to run concurrently from parallel tests and the
+// parallel clustering engine's benchmarks.
 package dataset
 
 import (

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -326,5 +327,50 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.lafd")); err == nil {
 		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+// TestGenerationDeterministicUnderConcurrency pins the property the
+// parallel engine and parallel test runs rely on: every generator owns a
+// private seeded rand.Rand (no global math/rand state), so identical
+// configs produce bit-identical datasets even when many generators run at
+// once. Run with -race to catch any future slide back to shared state.
+func TestGenerationDeterministicUnderConcurrency(t *testing.T) {
+	gen := func() []*Dataset {
+		return []*Dataset{
+			GloVeLike(120, 5),
+			MSLike(100, 6),
+			NYTLike(NYTLikeConfig{N: 100, Seed: 7, NoiseFrac: 0.1}),
+		}
+	}
+	reference := gen()
+	const runs = 8
+	got := make([][]*Dataset, runs)
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			got[r] = gen()
+		}(r)
+	}
+	wg.Wait()
+	for r, ds := range got {
+		for k, d := range ds {
+			ref := reference[k]
+			if d.Len() != ref.Len() {
+				t.Fatalf("run %d %s: %d points, want %d", r, d.Name, d.Len(), ref.Len())
+			}
+			for i := range ref.Vectors {
+				if d.TrueLabels[i] != ref.TrueLabels[i] {
+					t.Fatalf("run %d %s: label[%d] differs", r, d.Name, i)
+				}
+				for j := range ref.Vectors[i] {
+					if d.Vectors[i][j] != ref.Vectors[i][j] {
+						t.Fatalf("run %d %s: vector[%d][%d] differs", r, d.Name, i, j)
+					}
+				}
+			}
+		}
 	}
 }

@@ -26,6 +26,11 @@ type RangeSearcher interface {
 	// RangeCount returns len(RangeSearch(q, eps)) without materializing
 	// the result.
 	RangeCount(q []float32, eps float64) int
+	// BatchRangeSearch answers every query concurrently over a worker
+	// pool and returns one id slice per query, index-aligned with
+	// queries. Implementations must make concurrent queries safe; use
+	// the package-level BatchRangeSearch helper to cap the pool size.
+	BatchRangeSearch(queries [][]float32, eps float64) [][]int
 	// Len returns the number of indexed points.
 	Len() int
 }

@@ -31,6 +31,7 @@ import (
 	"lafdbscan/internal/cardest"
 	"lafdbscan/internal/cluster"
 	"lafdbscan/internal/core"
+	"lafdbscan/internal/index"
 	"lafdbscan/internal/metrics"
 	"lafdbscan/internal/vecmath"
 )
@@ -92,7 +93,25 @@ type Params struct {
 
 	// Seed drives all randomized components.
 	Seed int64
+
+	// Workers selects the clustering engine for DBSCAN, LAFDBSCAN and
+	// LAFDBSCANPP. The zero value runs the sequential reference
+	// implementation (the paper's formulation); a positive value runs the
+	// parallel engine with that many workers; WorkersAuto sizes the pool
+	// to GOMAXPROCS. The parallel DBSCAN engine produces labels identical
+	// to the sequential one; the parallel LAF engines match their
+	// sequential counterparts exactly when post-processing is disabled and
+	// use the complete (traversal-order-free) partial-neighbor map when it
+	// is enabled. Other methods ignore the knob.
+	Workers int
+	// BatchSize is the number of range queries a parallel worker claims
+	// at a time; 0 selects a load-balancing default. Ignored by the
+	// sequential engines.
+	BatchSize int
 }
+
+// WorkersAuto sizes the parallel engine's worker pool to GOMAXPROCS.
+const WorkersAuto = -1
 
 // DistanceMetric identifies a distance function.
 type DistanceMetric = vecmath.Metric
@@ -113,9 +132,16 @@ func CosineToEuclidean(dcos float64) float64 { return vecmath.CosineToEuclidean(
 // EuclideanToCosine is the inverse of CosineToEuclidean for unit vectors.
 func EuclideanToCosine(deuc float64) float64 { return vecmath.EuclideanToCosine(deuc) }
 
-// DBSCAN runs the original exact DBSCAN; its labeling is the ground truth
-// the paper scores every approximate method against.
+// DBSCAN runs exact DBSCAN; its labeling is the ground truth the paper
+// scores every approximate method against. With Params.Workers set it runs
+// the parallel engine, whose labels are identical to the sequential one's.
 func DBSCAN(points [][]float32, p Params) (*Result, error) {
+	if p.Workers != 0 {
+		return (&cluster.ParallelDBSCAN{
+			Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric,
+			Workers: index.AutoWorkers(p.Workers), BatchSize: p.BatchSize,
+		}).Run()
+	}
 	return (&cluster.DBSCAN{Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric}).Run()
 }
 
@@ -136,6 +162,7 @@ func LAFDBSCAN(points [][]float32, p Params) (*Result, error) {
 		Eps: p.Eps, Tau: p.Tau, Alpha: p.Alpha,
 		Estimator: p.Estimator, Metric: p.Metric, Seed: p.Seed,
 		DisablePostProcessing: p.DisablePostProcessing,
+		Workers:               p.Workers, BatchSize: p.BatchSize,
 	}}).Run()
 }
 
@@ -149,6 +176,7 @@ func LAFDBSCANPP(points [][]float32, p Params) (*Result, error) {
 		Eps: p.Eps, Tau: p.Tau, Alpha: p.Alpha,
 		Estimator: p.Estimator, Seed: p.Seed,
 		DisablePostProcessing: p.DisablePostProcessing,
+		Workers:               p.Workers, BatchSize: p.BatchSize,
 	}}).Run()
 }
 

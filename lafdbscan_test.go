@@ -36,6 +36,71 @@ func TestFacadeDBSCANAndLAF(t *testing.T) {
 	}
 }
 
+// TestFacadeWorkersKnob pins the public contract of Params.Workers: the
+// parallel engines must reproduce the sequential labelings exactly (DBSCAN
+// always; LAF with post-processing disabled) at every pool size.
+func TestFacadeWorkersKnob(t *testing.T) {
+	d := testData()
+	p := Params{Eps: 0.5, Tau: 4}
+	seq, err := DBSCAN(d.Vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{WorkersAuto, 1, 4} {
+		pp := p
+		pp.Workers = workers
+		pp.BatchSize = 16
+		par, err := DBSCAN(d.Vectors, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq.Labels {
+			if par.Labels[i] != seq.Labels[i] {
+				t.Fatalf("workers=%d: DBSCAN label[%d] = %d, sequential %d",
+					workers, i, par.Labels[i], seq.Labels[i])
+			}
+		}
+	}
+
+	lp := Params{
+		Eps: 0.5, Tau: 4, Alpha: 1, Estimator: ExactEstimator(d.Vectors),
+		DisablePostProcessing: true,
+	}
+	lseq, err := LAFDBSCAN(d.Vectors, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp.Workers = WorkersAuto
+	lpar, err := LAFDBSCAN(d.Vectors, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lseq.Labels {
+		if lpar.Labels[i] != lseq.Labels[i] {
+			t.Fatalf("LAF label[%d] = %d, sequential %d", i, lpar.Labels[i], lseq.Labels[i])
+		}
+	}
+
+	sp := Params{
+		Eps: 0.5, Tau: 4, Alpha: 1, Estimator: ExactEstimator(d.Vectors),
+		SampleFraction: 0.5, Seed: 9, DisablePostProcessing: true,
+	}
+	sseq, err := LAFDBSCANPP(d.Vectors, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Workers = 3
+	spar, err := LAFDBSCANPP(d.Vectors, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sseq.Labels {
+		if spar.Labels[i] != sseq.Labels[i] {
+			t.Fatalf("LAF++ label[%d] = %d, sequential %d", i, spar.Labels[i], sseq.Labels[i])
+		}
+	}
+}
+
 func TestFacadeAlphaDefaultsToOne(t *testing.T) {
 	d := testData()
 	res, err := LAFDBSCAN(d.Vectors, Params{
