@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"lafdbscan/internal/bench"
 )
@@ -276,6 +277,7 @@ func BenchmarkParallelDBSCAN(b *testing.B) {
 		}
 	}
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := DBSCAN(d.Vectors, p); err != nil {
 				b.Fatal(err)
@@ -284,6 +286,7 @@ func BenchmarkParallelDBSCAN(b *testing.B) {
 	})
 	for _, wkr := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", wkr), func(b *testing.B) {
+			b.ReportAllocs()
 			pp := p
 			pp.Workers = wkr
 			for i := 0; i < b.N; i++ {
@@ -293,6 +296,20 @@ func BenchmarkParallelDBSCAN(b *testing.B) {
 			}
 		})
 	}
+	// The buffer-everything engine at the largest worker count, so every
+	// -benchmem run (and the CI bench job) shows the wave engine's alloc/op
+	// saving next to the engine it replaced.
+	b.Run(fmt.Sprintf("workers=%d/buffered", workerCounts[len(workerCounts)-1]), func(b *testing.B) {
+		b.ReportAllocs()
+		pp := p
+		pp.Workers = workerCounts[len(workerCounts)-1]
+		pp.WaveSize = -1
+		for i := 0; i < b.N; i++ {
+			if _, err := DBSCAN(d.Vectors, pp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkParallelLAFDBSCAN is the same comparison for the LAF fast path:
@@ -305,6 +322,7 @@ func BenchmarkParallelLAFDBSCAN(b *testing.B) {
 	})
 	p := Params{Eps: 0.5, Tau: 4, Alpha: 1.2, Estimator: ExactEstimator(d.Vectors), Seed: 1}
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := LAFDBSCAN(d.Vectors, p); err != nil {
 				b.Fatal(err)
@@ -313,6 +331,7 @@ func BenchmarkParallelLAFDBSCAN(b *testing.B) {
 	})
 	for _, wkr := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", wkr), func(b *testing.B) {
+			b.ReportAllocs()
 			pp := p
 			pp.Workers = wkr
 			for i := 0; i < b.N; i++ {
@@ -321,6 +340,62 @@ func BenchmarkParallelLAFDBSCAN(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkWaveEngineMemory is the memory-bound benchmark the CI bench job
+// gates on together with the parallel benchmarks above: the wave engine at
+// two wave sizes against the buffer-everything engine on the same workload.
+// -benchmem supplies the alloc/op numbers benchstat and cmd/benchguard
+// compare; in addition each configuration is measured once with
+// bench.MeasureMem (exact cumulative allocations plus a sampled live-heap
+// high-water mark) and, when LAF_BENCH_JSON names a file, the samples are
+// written there as the machine-readable BENCH_*.json artifact.
+func BenchmarkWaveEngineMemory(b *testing.B) {
+	const n, dim = 2000, 128
+	d := GenerateMixture("wave-mem-bench", MixtureConfig{
+		N: n, Dim: dim, Clusters: 16, MinSpread: 0.2, MaxSpread: 0.6,
+		NoiseFrac: 0.2, SizeSkew: 1.1, EffectiveDim: 48, Seed: 79,
+	})
+	p := Params{Eps: 0.5, Tau: 4, Workers: 2}
+	configs := []struct {
+		name string
+		wave int
+	}{
+		{"buffered", -1},
+		{"wave=256", 256},
+		{"wave=1024", 1024},
+	}
+	report := bench.BenchReport{Suite: "BenchmarkWaveEngineMemory"}
+	for _, c := range configs {
+		pp := p
+		pp.WaveSize = c.wave
+		start := time.Now()
+		sample := bench.MeasureMem(func() {
+			if _, err := DBSCAN(d.Vectors, pp); err != nil {
+				b.Fatal(err)
+			}
+		})
+		report.Records = append(report.Records, bench.BenchRecord{
+			Name: c.name, N: n, Dim: dim,
+			Workers: pp.Workers, WaveSize: c.wave,
+			Mem: sample, ElapsedNs: time.Since(start).Nanoseconds(),
+		})
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DBSCAN(d.Vectors, pp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sample.PeakExtraBytes), "peak-B")
+		})
+	}
+	if path := os.Getenv("LAF_BENCH_JSON"); path != "" {
+		if err := bench.WriteBenchJSON(path, report); err != nil {
+			b.Fatalf("writing %s: %v", path, err)
+		}
+		b.Logf("wrote %s", path)
 	}
 }
 

@@ -1,0 +1,171 @@
+// Command benchguard compares two Go benchmark output files (the committed
+// baseline and a fresh run) and fails when a benchmark's allocations per
+// operation regressed beyond a threshold. The CI bench job runs it after
+// benchstat: benchstat renders the human-readable comparison, benchguard is
+// the machine gate that turns a memory regression into a red build.
+//
+// Usage:
+//
+//	benchguard -baseline old.txt -current new.txt [-pattern regexp] [-threshold 25] [-json report.json]
+//
+// Benchmark names are matched after stripping the -GOMAXPROCS suffix, so a
+// baseline recorded on one machine gates runs on another; only benchmarks
+// present in both files are compared (CPU-count-dependent sub-benchmarks
+// that exist on one machine only are skipped). ns/op is reported but never
+// gated — wall-clock varies across runners, allocation counts do not.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine is one parsed benchmark result.
+type benchLine struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HasMem      bool    `json:"has_mem"`
+}
+
+// comparison is one baseline/current pair in the JSON report.
+type comparison struct {
+	Name            string  `json:"name"`
+	BaselineAllocs  float64 `json:"baseline_allocs_per_op"`
+	CurrentAllocs   float64 `json:"current_allocs_per_op"`
+	AllocsChangePct float64 `json:"allocs_change_pct"`
+	BaselineBytes   float64 `json:"baseline_bytes_per_op"`
+	CurrentBytes    float64 `json:"current_bytes_per_op"`
+	BytesChangePct  float64 `json:"bytes_change_pct"`
+	Regressed       bool    `json:"regressed"`
+}
+
+// resultLine matches "BenchmarkName-8  10  123 ns/op  456 B/op  7 allocs/op"
+// (the memory columns are present under -benchmem). Custom metrics between
+// ns/op and B/op are tolerated.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+func parseFile(path string) (map[string]benchLine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]benchLine)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		mm := resultLine.FindStringSubmatch(sc.Text())
+		if mm == nil {
+			continue
+		}
+		l := benchLine{Name: mm[1]}
+		l.NsPerOp, _ = strconv.ParseFloat(mm[2], 64)
+		if mm[3] != "" {
+			l.BytesPerOp, _ = strconv.ParseFloat(mm[3], 64)
+			l.AllocsPerOp, _ = strconv.ParseFloat(mm[4], 64)
+			l.HasMem = true
+		}
+		out[l.Name] = l
+	}
+	return out, sc.Err()
+}
+
+// changePct returns the relative growth of cur over base in percent; a
+// zero-allocation baseline only regresses if the current run allocates.
+func changePct(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (cur - base) / base * 100
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline benchmark output (required)")
+		currentPath  = flag.String("current", "", "fresh benchmark output to gate (required)")
+		pattern      = flag.String("pattern", ".", "regexp selecting which benchmarks to gate")
+		threshold    = flag.Float64("threshold", 25, "maximum tolerated allocs/op growth in percent")
+		jsonPath     = flag.String("json", "", "optional path for a machine-readable comparison report")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sel, err := regexp.Compile(*pattern)
+	if err != nil {
+		log.Fatalf("bad -pattern: %v", err)
+	}
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		log.Fatalf("reading baseline: %v", err)
+	}
+	cur, err := parseFile(*currentPath)
+	if err != nil {
+		log.Fatalf("reading current: %v", err)
+	}
+
+	var report []comparison
+	compared, regressed := 0, 0
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic output order
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok || !sel.MatchString(name) || !c.HasMem || !b.HasMem {
+			continue
+		}
+		compared++
+		cmp := comparison{
+			Name:           name,
+			BaselineAllocs: b.AllocsPerOp, CurrentAllocs: c.AllocsPerOp,
+			AllocsChangePct: changePct(b.AllocsPerOp, c.AllocsPerOp),
+			BaselineBytes:   b.BytesPerOp, CurrentBytes: c.BytesPerOp,
+			BytesChangePct: changePct(b.BytesPerOp, c.BytesPerOp),
+		}
+		cmp.Regressed = cmp.AllocsChangePct > *threshold
+		if cmp.Regressed {
+			regressed++
+			fmt.Printf("FAIL %s: allocs/op %.0f -> %.0f (%+.1f%%, threshold %+.0f%%)\n",
+				name, b.AllocsPerOp, c.AllocsPerOp, cmp.AllocsChangePct, *threshold)
+		} else {
+			fmt.Printf("ok   %s: allocs/op %.0f -> %.0f (%+.1f%%), B/op %.0f -> %.0f (%+.1f%%)\n",
+				name, b.AllocsPerOp, c.AllocsPerOp, cmp.AllocsChangePct,
+				b.BytesPerOp, c.BytesPerOp, cmp.BytesChangePct)
+		}
+		report = append(report, cmp)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *jsonPath, err)
+		}
+	}
+	if compared == 0 {
+		log.Fatalf("no benchmarks matched both files and %q — baseline stale?", *pattern)
+	}
+	if regressed > 0 {
+		log.Fatalf("%d of %d gated benchmarks regressed beyond %+.0f%% allocs/op", regressed, compared, *threshold)
+	}
+	fmt.Printf("benchguard: %d benchmarks within %+.0f%% allocs/op of baseline\n", compared, *threshold)
+}

@@ -30,11 +30,33 @@ func main() {
 	workers := flag.Int("workers", 0,
 		"parallel engine workers for DBSCAN and the LAF variants: 0 sequential (the paper's configuration), -1 all cores")
 	batchSize := flag.Int("batch", 0, "queries per parallel work unit (0 = auto)")
+	waveSize := flag.Int("wave", 0,
+		"range queries per neighbor-discovery wave (0 = auto, -1 = unbounded buffer-everything engine)")
 	flag.Parse()
+
+	// Reject out-of-range knobs instead of passing them into the worker
+	// pool: only -1 has a defined meaning below zero for -workers and
+	// -wave, and -batch is a chunk size with no negative interpretation.
+	if *workers < -1 {
+		log.Printf("-workers must be >= -1 (-1 = all cores), got %d", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *batchSize < 0 {
+		log.Printf("-batch must be >= 0 (0 = auto), got %d", *batchSize)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *waveSize < -1 {
+		log.Printf("-wave must be >= -1 (-1 = buffer everything), got %d", *waveSize)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.BatchSize = *batchSize
+	cfg.WaveSize = *waveSize
 	w := bench.NewWorkbench(cfg)
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {

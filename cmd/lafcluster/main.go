@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"lafdbscan"
@@ -36,10 +37,29 @@ func main() {
 		compare   = flag.Bool("compare", false, "also run exact DBSCAN and report ARI/AMI")
 		workers   = flag.Int("workers", 0, "parallel engine workers for dbscan/laf methods: 0 sequential, -1 all cores")
 		batchSize = flag.Int("batch", 0, "queries per parallel work unit (0 = auto)")
+		waveSize  = flag.Int("wave", 0, "range queries per neighbor-discovery wave (0 = auto, -1 = unbounded buffer-everything engine)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		log.Fatal("-data is required")
+	}
+	// Reject out-of-range knobs instead of passing them into the worker
+	// pool: only -1 has a defined meaning below zero for -workers and
+	// -wave, and -batch is a chunk size with no negative interpretation.
+	if *workers < -1 {
+		log.Printf("-workers must be >= -1 (-1 = all cores), got %d", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *batchSize < 0 {
+		log.Printf("-batch must be >= 0 (0 = auto), got %d", *batchSize)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *waveSize < -1 {
+		log.Printf("-wave must be >= -1 (-1 = buffer everything), got %d", *waveSize)
+		flag.Usage()
+		os.Exit(2)
 	}
 	data, err := lafdbscan.LoadDataset(*dataPath)
 	if err != nil {
@@ -50,7 +70,7 @@ func main() {
 	params := lafdbscan.Params{
 		Eps: *eps, Tau: *tau, Alpha: *alpha,
 		SampleFraction: *p, Rho: 1.0, Seed: *seed,
-		Workers: *workers, BatchSize: *batchSize,
+		Workers: *workers, BatchSize: *batchSize, WaveSize: *waveSize,
 	}
 	m := lafdbscan.Method(*method)
 	if m == lafdbscan.MethodLAFDBSCAN || m == lafdbscan.MethodLAFDBSCANPP {

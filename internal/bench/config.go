@@ -46,6 +46,9 @@ type Config struct {
 	Workers int
 	// BatchSize is the parallel engines' per-worker query chunk (0 = auto).
 	BatchSize int
+	// WaveSize bounds the parallel engines' neighbor-discovery memory:
+	// queries per wave (0 = auto, < 0 = buffer-everything engine).
+	WaveSize int
 }
 
 // DefaultConfig returns the workload selected by LAF_BENCH_SCALE

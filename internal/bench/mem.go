@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the memory-instrumentation side of the harness: exact
+// allocation accounting plus an approximate live-heap high-water mark for a
+// measured run, and the machine-readable BENCH_*.json records the CI bench
+// job uploads and gates on. The wave engine's whole point is a memory
+// property — peak extra memory O(WaveSize·avg|N|) instead of O(Σ|N(p)|) —
+// and memory behavior regresses silently, so it is measured on every push
+// rather than asserted once.
+
+// MemSample is the allocation profile of one measured run.
+type MemSample struct {
+	// TotalAllocBytes is the exact cumulative number of heap bytes
+	// allocated during the run (runtime.MemStats.TotalAlloc delta).
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// Mallocs is the exact number of heap objects allocated during the
+	// run.
+	Mallocs uint64 `json:"mallocs"`
+	// PeakExtraBytes is the sampled live-heap high-water mark above the
+	// pre-run baseline. Approximate: a background sampler polls
+	// runtime.MemStats while the run executes, so short spikes between
+	// samples can be missed; comparisons between engines on the same
+	// workload remain meaningful.
+	PeakExtraBytes uint64 `json:"peak_extra_bytes"`
+}
+
+// MeasureMem runs f once and reports its allocation profile. It garbage-
+// collects before measuring so the baseline is live data only; the
+// cumulative counters are exact, the peak is sampled. Not safe to run
+// concurrently with other measured work.
+func MeasureMem(f func()) MemSample {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var peak atomic.Uint64
+	peak.Store(before.HeapAlloc)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	f()
+
+	close(stop)
+	wg.Wait()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > peak.Load() {
+		peak.Store(after.HeapAlloc)
+	}
+	s := MemSample{
+		TotalAllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Mallocs:         after.Mallocs - before.Mallocs,
+	}
+	if p := peak.Load(); p > before.HeapAlloc {
+		s.PeakExtraBytes = p - before.HeapAlloc
+	}
+	return s
+}
+
+// BenchRecord is one machine-readable measurement in a BENCH_*.json file.
+type BenchRecord struct {
+	// Name identifies the measurement (engine/configuration).
+	Name string `json:"name"`
+	// N, Dim describe the workload.
+	N   int `json:"n,omitempty"`
+	Dim int `json:"dim,omitempty"`
+	// Workers and WaveSize are the engine knobs of the run.
+	Workers  int `json:"workers,omitempty"`
+	WaveSize int `json:"wave_size,omitempty"`
+	// Mem is the run's allocation profile.
+	Mem MemSample `json:"mem"`
+	// ElapsedNs is the run's wall-clock time.
+	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+// BenchReport is the top-level BENCH_*.json document.
+type BenchReport struct {
+	// Suite names the producing benchmark.
+	Suite string `json:"suite"`
+	// GoMaxProcs records the parallelism the numbers were taken at.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Records are the measurements.
+	Records []BenchRecord `json:"records"`
+}
+
+// WriteBenchJSON writes the report to path as indented JSON.
+func WriteBenchJSON(path string, report BenchReport) error {
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -164,7 +164,8 @@ func (w *Workbench) GroundTruth(key string, s Setting) (*cluster.Result, error) 
 	var err error
 	if w.Cfg.Workers != 0 {
 		res, err = (&cluster.ParallelDBSCAN{Points: d.test.Vectors, Eps: s.Eps, Tau: s.Tau,
-			Workers: index.AutoWorkers(w.Cfg.Workers), BatchSize: w.Cfg.BatchSize}).Run()
+			Workers: index.AutoWorkers(w.Cfg.Workers), BatchSize: w.Cfg.BatchSize,
+			WaveSize: w.Cfg.WaveSize}).Run()
 	} else {
 		res, err = (&cluster.DBSCAN{Points: d.test.Vectors, Eps: s.Eps, Tau: s.Tau}).Run()
 	}
@@ -236,6 +237,7 @@ func (w *Workbench) RunMethod(method, key string, s Setting) (*cluster.Result, e
 			Eps: s.Eps, Tau: s.Tau, Alpha: w.Alpha(key),
 			Estimator: est, Seed: w.Cfg.Seed,
 			Workers: w.Cfg.Workers, BatchSize: w.Cfg.BatchSize,
+			WaveSize: w.Cfg.WaveSize,
 		}}).Run()
 	case "LAF-DBSCAN++":
 		est, err := w.Estimator(key)
@@ -250,6 +252,7 @@ func (w *Workbench) RunMethod(method, key string, s Setting) (*cluster.Result, e
 			Eps: s.Eps, Tau: s.Tau, Alpha: 1.0, // the paper fixes alpha=1 here
 			Estimator: est, Seed: w.Cfg.Seed,
 			Workers: w.Cfg.Workers, BatchSize: w.Cfg.BatchSize,
+			WaveSize: w.Cfg.WaveSize,
 		}}).Run()
 	case "rho-approx":
 		return (&cluster.RhoApprox{Points: pts, Eps: s.Eps, Tau: s.Tau, Rho: 1.0}).Run()

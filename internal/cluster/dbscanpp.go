@@ -86,11 +86,6 @@ func ClusterCoresAndAssign(points [][]float32, eps float64, cores []int, coreNei
 // assignment is independent, so the labeling is identical at any worker
 // count). workers <= 0 selects GOMAXPROCS; batch sizes the work chunks.
 func ClusterCoresAndAssignWorkers(points [][]float32, eps float64, cores []int, coreNeighbors map[int][]int, workers, batch int) []int {
-	n := len(points)
-	labels := make([]int, n)
-	for i := range labels {
-		labels[i] = Undefined
-	}
 	isCore := make(map[int]bool, len(cores))
 	for _, c := range cores {
 		isCore[c] = true
@@ -107,10 +102,33 @@ func ClusterCoresAndAssignWorkers(points [][]float32, eps float64, cores []int, 
 			}
 		}
 	}
+	return assignToCores(points, eps, cores, uf.Find, workers, batch)
+}
+
+// ClusterCoresAndAssignUnionWorkers is the wave engine's variant of
+// ClusterCoresAndAssignWorkers: the ε-connectivity of the cores has already
+// been folded into uf during neighbor discovery (cluster.WaveMerger), so no
+// neighbor lists are needed — clusters are numbered off the forest and
+// every other point is assigned to its closest core. The components are
+// identical to the neighbor-list construction, so so is the labeling.
+func ClusterCoresAndAssignUnionWorkers(points [][]float32, eps float64, cores []int, uf *AtomicUnionFind, workers, batch int) []int {
+	return assignToCores(points, eps, cores, uf.Find, workers, batch)
+}
+
+// assignToCores is the shared tail of the two constructions above: number
+// the core components by first occurrence in cores order (find maps a core
+// to its component representative), then assign every remaining point to
+// the cluster of its closest core point when within eps, noise otherwise.
+func assignToCores(points [][]float32, eps float64, cores []int, find func(int) int, workers, batch int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Undefined
+	}
 	clusterID := make(map[int]int)
 	next := 0
 	for _, c := range cores {
-		root := uf.Find(c)
+		root := find(c)
 		id, ok := clusterID[root]
 		if !ok {
 			next++

@@ -14,15 +14,16 @@ import (
 // (|N(p)| >= Tau) and which core points are ε-connected. The parallel
 // driver exploits that:
 //
-//  1. Neighbor discovery: every point's range query runs on a worker pool
-//     (the dominant cost, embarrassingly parallel).
-//  2. Merge: core points are unioned with their core neighbors through a
-//     lock-free union-find, in parallel.
-//  3. Label resolution (sequential, linear): cluster ids are numbered by
+//  1. Neighbor discovery: range queries run in bounded waves on a worker
+//     pool (index.BatchRangeSearchFunc). Each result is folded into a
+//     WaveMerger the moment it is produced — core flag, lock-free
+//     union-find links for core-core ε-edges, a short border stub for
+//     non-core points — and the neighbor list itself is dropped.
+//  2. Label resolution (sequential, linear): cluster ids are numbered by
 //     first-core scan order and border points take the minimum cluster id
 //     among the clusters of their core neighbors.
 //
-// Phase 3's two rules reproduce the sequential traversal exactly: DBSCAN's
+// Phase 2's two rules reproduce the sequential traversal exactly: DBSCAN's
 // outer loop starts each cluster at its lowest-indexed core point (core
 // points are never absorbed as border points of other clusters), and each
 // cluster expands fully before the scan resumes, so a contested border
@@ -30,10 +31,10 @@ import (
 // therefore returns labels identical — not merely equivalent — to
 // DBSCAN.Run on the same inputs.
 //
-// Memory: phase 1 materializes every neighbor list at once, so peak memory
-// is O(Σ|N(p)|) where the sequential driver holds one list at a time. At
-// very large scales with dense eps, process the data in epochs of waves
-// instead (see ROADMAP.md) — only core points' lists are needed by phase 3.
+// Memory: only one wave of neighbor lists is in flight at a time and core
+// lists are never retained, so peak extra memory is O(WaveSize·avg|N|) plus
+// the non-core stubs (each shorter than Tau) — where the buffer-everything
+// engine of WaveSize < 0 peaks at O(Σ|N(p)|).
 type ParallelDBSCAN struct {
 	// Points, Eps, Tau, Metric and Index have DBSCAN's semantics.
 	Points [][]float32
@@ -46,6 +47,13 @@ type ParallelDBSCAN struct {
 	// BatchSize is the number of queries a worker claims at a time; <= 0
 	// selects a load-balancing default.
 	BatchSize int
+	// WaveSize bounds the number of neighbor lists in flight: queries run
+	// in waves of this many, and each wave's lists are dropped before the
+	// next begins. 0 selects index.DefaultWaveSize; a negative value
+	// disables waving and buffers every neighbor list at once (the
+	// pre-wave engine, kept for comparison benchmarks and tests). Labels
+	// are identical at every setting.
+	WaveSize int
 }
 
 // Run clusters the points.
@@ -58,6 +66,31 @@ func (d *ParallelDBSCAN) Run() (*Result, error) {
 	if idx == nil {
 		idx = index.NewBruteForce(d.Points, metricFunc(d.Metric))
 	}
+	if d.WaveSize < 0 {
+		return d.runBuffered(idx)
+	}
+	start := time.Now()
+	res := &Result{Algorithm: "DBSCAN", RangeQueries: n}
+
+	// Phase 1: neighbor discovery in bounded waves, each result folded into
+	// the merger (core flag, unions, stub) and dropped.
+	m := NewWaveMerger(n, d.Tau)
+	index.BatchRangeSearchFunc(idx, d.Points, d.Eps, d.Workers, d.BatchSize, d.WaveSize,
+		func(p int, ids []int) { m.Absorb(p, ids) })
+
+	// Phase 2: sequential label resolution.
+	res.Labels = m.Resolve(nil)
+	res.Elapsed = time.Since(start)
+	res.finalize()
+	return res, nil
+}
+
+// runBuffered is the buffer-everything engine: every neighbor list is
+// materialized before merging, peaking at O(Σ|N(p)|) extra memory. Kept
+// selectable (WaveSize < 0) as the baseline the wave engine's memory
+// benchmarks and regression tests compare against.
+func (d *ParallelDBSCAN) runBuffered(idx index.RangeSearcher) (*Result, error) {
+	n := len(d.Points)
 	start := time.Now()
 	res := &Result{Algorithm: "DBSCAN", RangeQueries: n}
 

@@ -1,0 +1,153 @@
+package cluster
+
+import "sync/atomic"
+
+// WaveMerger folds streamed range-query results into the three order-free
+// facts label resolution needs — core flags, ε-connectivity of core points,
+// and border-assignment stubs — so neighbor lists can be dropped the moment
+// they are produced. It is the consumer side of index.BatchRangeSearchFunc:
+// the parallel clustering drivers call Absorb from the wave callback and
+// never retain a core point's neighbor list.
+//
+// Core-core edges are unioned through a publish-then-scan handshake: Absorb
+// publishes p's core status atomically before scanning p's list, and unions
+// p with every neighbor already published as core. Because d is symmetric,
+// an ε-edge between cores p and q is seen from both sides; whichever side
+// scans second finds the other's status already published, so every edge is
+// unioned at least once no matter how queries interleave (with sequentially
+// consistent atomics, both scans missing each other would require each
+// store to follow the other's load — impossible). Neighbors whose queries
+// never run (LAF's predicted stop points) stay unpublished and are never
+// unioned, which is exactly the LAF drivers' contract.
+//
+// Non-core results are kept as stubs — a copy of the point's own neighbor
+// list, necessarily shorter than tau — because a border point's own list
+// contains every core within ε of it (symmetry again), which is all that
+// border assignment needs. The big lists, the core points' — the bulk of
+// the buffer-everything engine's O(Σ|N(p)|) peak — are never copied.
+type WaveMerger struct {
+	tau    int
+	status []atomic.Int32 // 0 unpublished, 1 non-core, 2 core
+	stubs  [][]int
+	uf     *AtomicUnionFind
+}
+
+const (
+	waveUnpublished int32 = iota
+	waveNonCore
+	waveCore
+)
+
+// NewWaveMerger returns a merger over n points with core threshold tau.
+func NewWaveMerger(n, tau int) *WaveMerger {
+	return &WaveMerger{
+		tau:    tau,
+		status: make([]atomic.Int32, n),
+		stubs:  make([][]int, n),
+		uf:     NewAtomicUnionFind(n),
+	}
+}
+
+// SkipStubs disables border-stub retention, for drivers that number and
+// assign clusters without calling Resolve (LAF-DBSCAN++'s nearest-core
+// assignment recomputes distances and never reads stubs). Call before the
+// first Absorb; Resolve must not be called afterwards.
+func (m *WaveMerger) SkipStubs() { m.stubs = nil }
+
+// Absorb folds the range-query result of point p into the merger and
+// returns whether p is core. Safe for concurrent use on distinct p; ids is
+// not retained (non-core lists are copied into the stub), so the caller may
+// recycle it. Each p must be absorbed at most once.
+func (m *WaveMerger) Absorb(p int, ids []int) bool {
+	if len(ids) >= m.tau {
+		m.status[p].Store(waveCore)
+		for _, q := range ids {
+			if q != p && m.status[q].Load() == waveCore {
+				m.uf.Union(p, q)
+			}
+		}
+		return true
+	}
+	if m.stubs != nil {
+		stub := make([]int, len(ids))
+		copy(stub, ids)
+		m.stubs[p] = stub
+	}
+	m.status[p].Store(waveNonCore)
+	return false
+}
+
+// Core returns the core-point mask. Call only after all Absorbs have
+// completed (the wave engine's pool barrier provides the ordering).
+func (m *WaveMerger) Core() []bool {
+	core := make([]bool, len(m.status))
+	for i := range m.status {
+		core[i] = m.status[i].Load() == waveCore
+	}
+	return core
+}
+
+// UnionFind returns the ε-connectivity forest of the core points. Only
+// meaningful after all Absorbs have completed.
+func (m *WaveMerger) UnionFind() *AtomicUnionFind { return m.uf }
+
+// Resolve turns the absorbed facts into the labeling sequential DBSCAN
+// would produce, with the same two rules as ResolveCoreLabels: cluster ids
+// are numbered by first-core scan order, and a border point takes the
+// minimum cluster id among its adjacent cores. Here the border rule is
+// evaluated from the border's side — its adjacent cores are read from its
+// own stub, or, for points whose query never ran, from the optional stop
+// map (stop point id → the set of queried points that found it; the LAF
+// drivers' partial-neighbor map). Both views name the identical core set by
+// symmetry of the metric, so the labels match ResolveCoreLabels over fully
+// buffered neighbor lists bit for bit.
+func (m *WaveMerger) Resolve(stop map[int]map[int]struct{}) []int {
+	n := len(m.status)
+	core := m.Core()
+	labels := make([]int, n) // 0 = unassigned, cluster ids start at 1
+	componentID := make(map[int]int)
+	c := 0
+	for p := 0; p < n; p++ {
+		if !core[p] {
+			continue
+		}
+		root := m.uf.Find(p)
+		id, ok := componentID[root]
+		if !ok {
+			c++
+			id = c
+			componentID[root] = id
+		}
+		labels[p] = id
+	}
+	for q := 0; q < n; q++ {
+		if core[q] || m.stubs[q] == nil {
+			continue
+		}
+		for _, nb := range m.stubs[q] {
+			if core[nb] {
+				if id := labels[nb]; labels[q] == 0 || id < labels[q] {
+					labels[q] = id
+				}
+			}
+		}
+	}
+	for q, set := range stop {
+		if labels[q] != 0 {
+			continue
+		}
+		for nb := range set {
+			if core[nb] {
+				if id := labels[nb]; labels[q] == 0 || id < labels[q] {
+					labels[q] = id
+				}
+			}
+		}
+	}
+	for i, l := range labels {
+		if l == 0 {
+			labels[i] = Noise
+		}
+	}
+	return labels
+}

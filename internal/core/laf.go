@@ -146,6 +146,13 @@ type Config struct {
 	// time; <= 0 selects a load-balancing default. Ignored by the
 	// sequential engine.
 	BatchSize int
+	// WaveSize bounds the parallel engine's neighbor-discovery memory:
+	// range queries run in waves of this many and each wave's lists are
+	// dropped as soon as their facts are folded in. 0 selects
+	// index.DefaultWaveSize; a negative value buffers every neighbor list
+	// at once (the pre-wave engine, kept for comparison). Ignored by the
+	// sequential engine; labels are identical at every setting.
+	WaveSize int
 }
 
 func (c *Config) validate(n int) error {

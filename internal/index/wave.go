@@ -1,0 +1,119 @@
+package index
+
+// This file is the streaming counterpart of batch.go: instead of
+// materializing one result slice per query — O(Σ|N(q)|) live at once —
+// BatchRangeSearchFunc executes queries in bounded waves over the worker
+// pool and hands each result to a callback while the wave is in flight.
+// The caller folds what it needs out of each list (core flags, union-find
+// links, small stubs) and the list itself is recycled or collected, so the
+// live set is O(WaveSize·avg|N|) regardless of dataset size. This is the
+// substrate of the memory-bounded parallel clustering engines.
+
+// DefaultWaveSize is the number of queries per wave when the caller passes
+// wave <= 0. Large enough that the per-wave pool fork/join is amortized
+// over thousands of distance computations, small enough that a wave's
+// in-flight neighbor lists stay far below the buffer-everything regime.
+const DefaultWaveSize = 1024
+
+// ResolveWaveSize normalizes a wave-size knob: values <= 0 select
+// DefaultWaveSize, everything else is returned unchanged.
+func ResolveWaveSize(wave int) int {
+	if wave <= 0 {
+		return DefaultWaveSize
+	}
+	return wave
+}
+
+// batchFuncWorkerSearcher is the optional native streaming path an index
+// can provide; BruteForce uses it to recycle one result buffer per wave
+// slot instead of allocating a fresh slice per query.
+type batchFuncWorkerSearcher interface {
+	BatchRangeSearchFuncWorkers(queries [][]float32, eps float64, workers, grain, wave int, fn func(i int, ids []int))
+}
+
+// BatchRangeSearchFunc answers queries[i] in waves of at most wave queries
+// over a worker pool, invoking fn(i, ids) once per query with the ids of
+// points within eps of queries[i]. Waves run back to back with a barrier
+// between them, so at most one wave's results are in flight at a time.
+//
+// fn is invoked concurrently from pool workers (on distinct i) and must be
+// safe for that; ids is only valid for the duration of the call and may be
+// recycled afterwards — callers that need to retain ids must copy them.
+// workers <= 0 selects GOMAXPROCS, grain <= 0 a default chunk size, and
+// wave <= 0 DefaultWaveSize. Results are identical to per-query RangeSearch
+// calls; only the allocation profile differs from BatchRangeSearch.
+func BatchRangeSearchFunc(s RangeSearcher, queries [][]float32, eps float64, workers, grain, wave int, fn func(i int, ids []int)) {
+	if b, ok := s.(batchFuncWorkerSearcher); ok {
+		b.BatchRangeSearchFuncWorkers(queries, eps, workers, grain, wave, fn)
+		return
+	}
+	wave = ResolveWaveSize(wave)
+	for base := 0; base < len(queries); base += wave {
+		hi := min(base+wave, len(queries))
+		lo := base
+		ForEach(hi-lo, workers, grain, func(k int) {
+			fn(lo+k, s.RangeSearch(queries[lo+k], eps))
+		})
+	}
+}
+
+// BatchRangeSearchFuncWorkers is BruteForce's native streaming path: each
+// wave slot owns one result buffer that is reset and reused wave after
+// wave, so a full sweep over n queries allocates O(wave) buffers total
+// instead of n. Within a wave a slot is touched by exactly one worker, and
+// the pool barrier between waves orders the reuse.
+func (b *BruteForce) BatchRangeSearchFuncWorkers(queries [][]float32, eps float64, workers, grain, wave int, fn func(i int, ids []int)) {
+	n := len(queries)
+	if n == 0 {
+		return
+	}
+	wave = ResolveWaveSize(wave)
+	b.queries.Add(int64(n))
+	bufs := make([][]int, min(wave, n))
+	for base := 0; base < n; base += wave {
+		hi := min(base+wave, n)
+		lo := base
+		ForEach(hi-lo, workers, grain, func(k int) {
+			q := queries[lo+k]
+			ids := bufs[k][:0]
+			for j, p := range b.points {
+				if b.dist(q, p) < eps {
+					ids = append(ids, j)
+				}
+			}
+			bufs[k] = ids
+			fn(lo+k, ids)
+		})
+	}
+}
+
+// CoverTree needs no native streaming path: its traversal is read-only
+// after construction and allocates per query either way, so the generic
+// BatchRangeSearchFunc fallback is its wave engine (the live set is still
+// bounded by one wave — each result is handed to fn and then dropped).
+
+// BatchApproxRangeSearchFunc streams the grid's ρ-approximate range queries
+// in waves, fn receiving each result as it is produced.
+func (g *Grid) BatchApproxRangeSearchFunc(queries [][]float32, eps float64, workers, grain, wave int, fn func(i int, ids []int)) {
+	wave = ResolveWaveSize(wave)
+	for base := 0; base < len(queries); base += wave {
+		hi := min(base+wave, len(queries))
+		lo := base
+		ForEach(hi-lo, workers, grain, func(k int) {
+			fn(lo+k, g.ApproxRangeSearch(queries[lo+k], eps))
+		})
+	}
+}
+
+// BatchRangeSearchApproxFunc streams the k-means tree's approximate range
+// queries in waves, fn receiving each result as it is produced.
+func (t *KMeansTree) BatchRangeSearchApproxFunc(queries [][]float32, eps float64, workers, grain, wave int, fn func(i int, ids []int)) {
+	wave = ResolveWaveSize(wave)
+	for base := 0; base < len(queries); base += wave {
+		hi := min(base+wave, len(queries))
+		lo := base
+		ForEach(hi-lo, workers, grain, func(k int) {
+			fn(lo+k, t.RangeSearchApprox(queries[lo+k], eps))
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package index
+
+import (
+	"sync"
+	"testing"
+
+	"lafdbscan/internal/vecmath"
+)
+
+// collectStream runs a streaming batch entry point and gathers the per-
+// query results (copied — the contract says ids may be recycled after the
+// callback returns).
+func collectStream(n int, stream func(fn func(i int, ids []int))) [][]int {
+	out := make([][]int, n)
+	var mu sync.Mutex
+	stream(func(i int, ids []int) {
+		cp := make([]int, len(ids))
+		copy(cp, ids)
+		mu.Lock()
+		out[i] = cp
+		mu.Unlock()
+	})
+	return out
+}
+
+func assertSameIDs(t *testing.T, label string, got, want []int) {
+	t.Helper()
+	got, want = sortedCopy(got), sortedCopy(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ids, want %d", label, len(got), len(want))
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("%s: ids differ at %d: %d vs %d", label, k, got[k], want[k])
+		}
+	}
+}
+
+// TestBruteForceStreamingMatchesSerial pins the native buffer-recycling
+// wave path against serial RangeSearch at wave sizes that force buffer
+// reuse (wave < number of queries), including one query per wave.
+func TestBruteForceStreamingMatchesSerial(t *testing.T) {
+	pts := batchTestPoints(300, 16, 11)
+	b := NewBruteForce(pts, vecmath.CosineDistanceUnit)
+	queries := pts[:60]
+	const eps = 0.8
+	for _, wave := range []int{0, 1, 7, 60, 1000} {
+		got := collectStream(len(queries), func(fn func(int, []int)) {
+			b.BatchRangeSearchFuncWorkers(queries, eps, 3, 4, wave, fn)
+		})
+		for i, q := range queries {
+			assertSameIDs(t, "brute force", got[i], b.RangeSearch(q, eps))
+		}
+	}
+}
+
+func TestBruteForceStreamingCountsQueries(t *testing.T) {
+	pts := batchTestPoints(100, 8, 12)
+	b := NewBruteForce(pts, vecmath.CosineDistanceUnit)
+	b.ResetQueries()
+	b.BatchRangeSearchFuncWorkers(pts[:37], 0.5, 2, 4, 8, func(int, []int) {})
+	if got := b.Queries(); got != 37 {
+		t.Errorf("query counter = %d, want 37", got)
+	}
+}
+
+// TestGenericStreamingHelperCoverTree exercises the package-level
+// BatchRangeSearchFunc fallback: CoverTree provides no native streaming
+// path, so the helper's generic per-query wave loop serves it.
+func TestGenericStreamingHelperCoverTree(t *testing.T) {
+	pts := batchTestPoints(200, 8, 13)
+	ct := NewCoverTree(pts, vecmath.EuclideanDistance, 2.0)
+	queries := pts[:40]
+	const eps = 1.0
+	for _, workers := range []int{0, 1, 4} {
+		got := collectStream(len(queries), func(fn func(int, []int)) {
+			BatchRangeSearchFunc(ct, queries, eps, workers, 4, 16, fn)
+		})
+		for i, q := range queries {
+			assertSameIDs(t, "cover tree", got[i], ct.RangeSearch(q, eps))
+		}
+	}
+}
+
+// TestGridAndKMeansTreeStreaming pins the approximate backends' streaming
+// wave paths to their serial queries.
+func TestGridAndKMeansTreeStreaming(t *testing.T) {
+	pts := batchTestPoints(200, 6, 14)
+	queries := pts[:25]
+
+	g := NewGrid(pts, 1.0, 0.5)
+	got := collectStream(len(queries), func(fn func(int, []int)) {
+		g.BatchApproxRangeSearchFunc(queries, 1.0, 3, 4, 8, fn)
+	})
+	for i, q := range queries {
+		assertSameIDs(t, "grid", got[i], g.ApproxRangeSearch(q, 1.0))
+	}
+
+	kt := NewKMeansTree(pts, vecmath.CosineDistanceUnit, KMeansTreeConfig{Seed: 1, LeavesRatio: 1})
+	got = collectStream(len(queries), func(fn func(int, []int)) {
+		kt.BatchRangeSearchApproxFunc(queries, 0.8, 3, 4, 8, fn)
+	})
+	for i, q := range queries {
+		assertSameIDs(t, "kmeans tree", got[i], kt.RangeSearchApprox(q, 0.8))
+	}
+}

@@ -108,6 +108,16 @@ type Params struct {
 	// at a time; 0 selects a load-balancing default. Ignored by the
 	// sequential engines.
 	BatchSize int
+	// WaveSize bounds the parallel engines' memory: neighbor discovery
+	// runs in waves of this many range queries, and each wave's neighbor
+	// lists are dropped as soon as core flags, cluster links and border
+	// stubs are folded in — peak extra memory is O(WaveSize·avg|N|)
+	// instead of the O(Σ|N(p)|) of buffering every list. 0 selects a
+	// default (index.DefaultWaveSize); a negative value disables waving
+	// and buffers everything (the pre-wave engine, kept for comparison).
+	// Labels are identical at every setting. Ignored by the sequential
+	// engines.
+	WaveSize int
 }
 
 // WorkersAuto sizes the parallel engine's worker pool to GOMAXPROCS.
@@ -140,6 +150,7 @@ func DBSCAN(points [][]float32, p Params) (*Result, error) {
 		return (&cluster.ParallelDBSCAN{
 			Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric,
 			Workers: index.AutoWorkers(p.Workers), BatchSize: p.BatchSize,
+			WaveSize: p.WaveSize,
 		}).Run()
 	}
 	return (&cluster.DBSCAN{Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric}).Run()
@@ -163,6 +174,7 @@ func LAFDBSCAN(points [][]float32, p Params) (*Result, error) {
 		Estimator: p.Estimator, Metric: p.Metric, Seed: p.Seed,
 		DisablePostProcessing: p.DisablePostProcessing,
 		Workers:               p.Workers, BatchSize: p.BatchSize,
+		WaveSize: p.WaveSize,
 	}}).Run()
 }
 
@@ -177,6 +189,7 @@ func LAFDBSCANPP(points [][]float32, p Params) (*Result, error) {
 		Estimator: p.Estimator, Seed: p.Seed,
 		DisablePostProcessing: p.DisablePostProcessing,
 		Workers:               p.Workers, BatchSize: p.BatchSize,
+		WaveSize: p.WaveSize,
 	}}).Run()
 }
 
