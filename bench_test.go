@@ -209,7 +209,10 @@ func BenchmarkAblationEstimators(b *testing.B) {
 		N: 800, Dim: 64, Clusters: 8, MinSpread: 0.25, MaxSpread: 0.5,
 		NoiseFrac: 0.25, Seed: 72,
 	})
-	train, test := Split(d, 0.8, 73)
+	train, test, err := Split(d, 0.8, 73)
+	if err != nil {
+		b.Fatal(err)
+	}
 	rmiEst, err := TrainRMIEstimator(train.Vectors, EstimatorConfig{
 		TargetSize: test.Len(), Hidden: []int{24, 12}, Epochs: 15,
 		MaxQueries: 150, Seed: 1,

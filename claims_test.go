@@ -13,7 +13,10 @@ import (
 func claimData(t *testing.T, n int) (*Dataset, *Dataset, Estimator) {
 	t.Helper()
 	full := MSLike(n, 81)
-	train, test := Split(full, 0.8, 81)
+	train, test, err := Split(full, 0.8, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
 	est, err := TrainRMIEstimator(train.Vectors, EstimatorConfig{
 		TargetSize: test.Len(), MaxQueries: 300, Epochs: 20,
 		Hidden: []int{48, 24}, Seed: 81,

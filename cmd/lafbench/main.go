@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"lafdbscan"
 	"lafdbscan/internal/bench"
 )
 
@@ -34,21 +35,16 @@ func main() {
 		"range queries per neighbor-discovery wave (0 = auto, -1 = unbounded buffer-everything engine)")
 	flag.Parse()
 
-	// Reject out-of-range knobs instead of passing them into the worker
-	// pool: only -1 has a defined meaning below zero for -workers and
-	// -wave, and -batch is a chunk size with no negative interpretation.
-	if *workers < -1 {
-		log.Printf("-workers must be >= -1 (-1 = all cores), got %d", *workers)
-		flag.Usage()
-		os.Exit(2)
+	// The engine knobs are the only flag-fed clustering parameters here
+	// (eps/tau come from the experiment tables); Params.Validate covers
+	// their domain — the same rules the library enforces at its entry
+	// points — with placeholder density parameters.
+	knobs := lafdbscan.Params{
+		Eps: 1, Tau: 1,
+		Workers: *workers, BatchSize: *batchSize, WaveSize: *waveSize,
 	}
-	if *batchSize < 0 {
-		log.Printf("-batch must be >= 0 (0 = auto), got %d", *batchSize)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *waveSize < -1 {
-		log.Printf("-wave must be >= -1 (-1 = buffer everything), got %d", *waveSize)
+	if err := knobs.Validate(); err != nil {
+		log.Print(err)
 		flag.Usage()
 		os.Exit(2)
 	}

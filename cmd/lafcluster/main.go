@@ -43,21 +43,15 @@ func main() {
 	if *dataPath == "" {
 		log.Fatal("-data is required")
 	}
-	// Reject out-of-range knobs instead of passing them into the worker
-	// pool: only -1 has a defined meaning below zero for -workers and
-	// -wave, and -batch is a chunk size with no negative interpretation.
-	if *workers < -1 {
-		log.Printf("-workers must be >= -1 (-1 = all cores), got %d", *workers)
-		flag.Usage()
-		os.Exit(2)
+	params := lafdbscan.Params{
+		Eps: *eps, Tau: *tau, Alpha: *alpha,
+		SampleFraction: *p, Rho: 1.0, Seed: *seed,
+		Workers: *workers, BatchSize: *batchSize, WaveSize: *waveSize,
 	}
-	if *batchSize < 0 {
-		log.Printf("-batch must be >= 0 (0 = auto), got %d", *batchSize)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *waveSize < -1 {
-		log.Printf("-wave must be >= -1 (-1 = buffer everything), got %d", *waveSize)
+	// One validation covers every flag-fed parameter — the same domain the
+	// library enforces at its entry points and lafserve returns 400s for.
+	if err := params.Validate(); err != nil {
+		log.Print(err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -67,11 +61,6 @@ func main() {
 	}
 	fmt.Printf("dataset: %s (%d points, %d dims)\n", data.Name, data.Len(), data.Dim())
 
-	params := lafdbscan.Params{
-		Eps: *eps, Tau: *tau, Alpha: *alpha,
-		SampleFraction: *p, Rho: 1.0, Seed: *seed,
-		Workers: *workers, BatchSize: *batchSize, WaveSize: *waveSize,
-	}
 	m := lafdbscan.Method(*method)
 	if m == lafdbscan.MethodLAFDBSCAN || m == lafdbscan.MethodLAFDBSCANPP {
 		trainVecs := data.Vectors

@@ -1,0 +1,93 @@
+// Command lafserve runs the clustering-as-a-service HTTP server: a dataset
+// registry, an estimator cache and an asynchronous, cancellable job engine
+// over every clustering method of the library.
+//
+// Usage:
+//
+//	lafserve [-addr :8080] [-job-workers N] [-queue 64] [-preload name=path ...]
+//
+// The README's "Serving" section walks through the full API with curl; in
+// short: POST /v1/datasets registers data once, POST /v1/estimators trains
+// (and caches) an RMI estimator, POST /v1/jobs submits a clustering job
+// whose status, progress and labels are polled under /v1/jobs/{id}, and
+// DELETE /v1/jobs/{id} cancels it mid-run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lafdbscan/internal/serve"
+)
+
+// preloads collects repeatable -preload name=path flags.
+type preloads []struct{ name, path string }
+
+func (p *preloads) String() string { return fmt.Sprint(*p) }
+
+func (p *preloads) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*p = append(*p, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lafserve: ")
+	var pre preloads
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("job-workers", 0, "concurrent clustering jobs (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "queued-job capacity before submissions get 429")
+		maxJobs = flag.Int("max-jobs", 0, "retained jobs incl. finished (0 = default 4096)")
+	)
+	flag.Var(&pre, "preload", "dataset to register at startup as name=path (repeatable)")
+	flag.Parse()
+	if *workers < 0 || *queue < 1 || *maxJobs < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := serve.NewServer(serve.Options{Workers: *workers, QueueDepth: *queue, MaxJobs: *maxJobs})
+	defer srv.Close()
+	for _, d := range pre {
+		info, err := srv.Registry().RegisterFile(d.name, d.path)
+		if err != nil {
+			log.Fatalf("preloading %s: %v", d.path, err)
+		}
+		log.Printf("preloaded dataset %q (%d points, %d dims)", info.Name, info.Points, info.Dims)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Graceful shutdown: stop accepting, let in-flight requests finish,
+	// then Close cancels any still-running jobs through their contexts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("listening on %s (job workers: %d, queue: %d)", *addr, *workers, *queue)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

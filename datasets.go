@@ -34,8 +34,10 @@ func NYTLike(n int, seed int64) *Dataset {
 }
 
 // Split partitions d into train and test subsets with the given train
-// fraction; the paper uses 0.8.
-func Split(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset) {
+// fraction; the paper uses 0.8. trainFrac must lie strictly inside (0, 1)
+// and leave at least one point on each side — out-of-range fractions return
+// an error instead of a silently empty subset.
+func Split(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset, err error) {
 	return d.Split(trainFrac, rand.New(rand.NewSource(seed)))
 }
 

@@ -14,7 +14,10 @@ import (
 // what keeps the root package's -short runs quick.
 func ExampleLAFDBSCAN() {
 	data := lafdbscan.MSLike(400, 1)
-	train, test := lafdbscan.Split(data, 0.8, 42)
+	train, test, err := lafdbscan.Split(data, 0.8, 42)
+	if err != nil {
+		panic(err)
+	}
 
 	est, err := lafdbscan.TrainRMIEstimator(train.Vectors, lafdbscan.EstimatorConfig{
 		TargetSize: test.Len(),

@@ -33,7 +33,10 @@ func main() {
 		SizeSkew:  1.5,
 		Seed:      7,
 	})
-	train, index := lafdbscan.Split(corpus, 0.8, 7)
+	train, index, err := lafdbscan.Split(corpus, 0.8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("corpus: %d passages to index, %d for estimator training\n",
 		index.Len(), train.Len())
 

@@ -21,7 +21,10 @@ func main() {
 
 	// 1. Data: a 768-dimensional passage-embedding-style dataset.
 	data := lafdbscan.MSLike(2000, 1)
-	train, test := lafdbscan.Split(data, 0.8, 42)
+	train, test, err := lafdbscan.Split(data, 0.8, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("dataset %s: %d train / %d test, %d dims\n",
 		data.Name, train.Len(), test.Len(), test.Dim())
 

@@ -24,7 +24,10 @@ func main() {
 	log.SetFlags(0)
 
 	vocab := lafdbscan.GloVeLike(3000, 11)
-	train, words := lafdbscan.Split(vocab, 0.8, 11)
+	train, words, err := lafdbscan.Split(vocab, 0.8, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("vocabulary: %d word vectors (%d dims), %d reserved for training\n",
 		words.Len(), words.Dim(), train.Len())
 

@@ -108,7 +108,13 @@ func (w *Workbench) data(key string) *splitData {
 	}
 	rng := rand.New(rand.NewSource(w.Cfg.Seed + 99))
 	frac := float64(w.Cfg.TrainFactor) / float64(1+w.Cfg.TrainFactor)
-	train, test := full.Split(frac, rng)
+	train, test, err := full.Split(frac, rng)
+	if err != nil {
+		// The workbench's scale tables always produce fractions strictly
+		// inside (0, 1) over thousands of points; a failure here is a
+		// config-table bug, not a runtime condition.
+		panic(err)
+	}
 	sd := &splitData{key: key, train: train, test: test}
 	w.datasets[key] = sd
 	return sd

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -35,7 +36,12 @@ type BlockDBSCAN struct {
 }
 
 // Run clusters the points.
-func (b *BlockDBSCAN) Run() (*Result, error) {
+func (b *BlockDBSCAN) Run() (*Result, error) { return b.RunContext(context.Background()) }
+
+// RunContext clusters the points under a cancellation context, checked
+// every ctxCheckEvery cover-tree range queries of the block-carving and
+// outer-point phases (where all the range queries happen).
+func (b *BlockDBSCAN) RunContext(ctx context.Context) (*Result, error) {
 	n := len(b.Points)
 	if err := validateParams(n, b.Eps, b.Tau); err != nil {
 		return nil, err
@@ -73,6 +79,9 @@ func (b *BlockDBSCAN) Run() (*Result, error) {
 		if processed[p] {
 			continue
 		}
+		if err := checkCtx(ctx, res.RangeQueries); err != nil {
+			return nil, err
+		}
 		ball := tree.RangeSearch(b.Points[p], epsEuc/2)
 		res.RangeQueries++
 		// Only points not yet claimed by another block join this one.
@@ -100,6 +109,9 @@ func (b *BlockDBSCAN) Run() (*Result, error) {
 	outerNeighbors := make(map[int][]int, len(outer))
 	outerCore := make(map[int]bool, len(outer))
 	for _, p := range outer {
+		if err := checkCtx(ctx, res.RangeQueries); err != nil {
+			return nil, err
+		}
 		neighbors := tree.RangeSearch(b.Points[p], epsEuc)
 		res.RangeQueries++
 		outerNeighbors[p] = neighbors

@@ -9,9 +9,26 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
+
+// ctxCheckEvery is how many range queries a sequential engine runs between
+// context checks. Cheap enough to be invisible (one modulo plus, every 64th
+// query, an atomic load inside ctx.Err) while keeping cancellation latency
+// to a few dozen queries — the sequential analogue of the parallel engines'
+// per-wave check.
+const ctxCheckEvery = 64
+
+// checkCtx returns ctx.Err() on every ctxCheckEvery-th query (and on the
+// first, so a pre-cancelled context never starts work).
+func checkCtx(ctx context.Context, queries int) error {
+	if queries%ctxCheckEvery == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
 
 // Label values. Cluster ids are positive integers starting at 1, matching
 // the paper's pseudocode (c starts at 0 and is pre-incremented).

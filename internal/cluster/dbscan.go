@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"time"
 
 	"lafdbscan/internal/index"
@@ -41,7 +42,13 @@ func metricFunc(m vecmath.Metric) vecmath.DistanceFunc {
 }
 
 // Run clusters the points.
-func (d *DBSCAN) Run() (*Result, error) {
+func (d *DBSCAN) Run() (*Result, error) { return d.RunContext(context.Background()) }
+
+// RunContext clusters the points under a cancellation context, checked
+// every ctxCheckEvery range queries (the sequential engine's analogue of
+// the parallel engines' wave barrier); on cancellation it returns
+// ctx.Err() and no result.
+func (d *DBSCAN) RunContext(ctx context.Context) (*Result, error) {
 	n := len(d.Points)
 	if err := validateParams(n, d.Eps, d.Tau); err != nil {
 		return nil, err
@@ -61,6 +68,9 @@ func (d *DBSCAN) Run() (*Result, error) {
 	for p := 0; p < n; p++ {
 		if labels[p] != Undefined {
 			continue
+		}
+		if err := checkCtx(ctx, res.RangeQueries); err != nil {
+			return nil, err
 		}
 		neighbors := idx.RangeSearch(d.Points[p], d.Eps)
 		res.RangeQueries++
@@ -89,6 +99,9 @@ func (d *DBSCAN) Run() (*Result, error) {
 				continue
 			}
 			labels[q] = c
+			if err := checkCtx(ctx, res.RangeQueries); err != nil {
+				return nil, err
+			}
 			qn := idx.RangeSearch(d.Points[q], d.Eps)
 			res.RangeQueries++
 			if len(qn) >= d.Tau {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -31,7 +32,11 @@ type DBSCANPP struct {
 }
 
 // Run clusters the points.
-func (d *DBSCANPP) Run() (*Result, error) {
+func (d *DBSCANPP) Run() (*Result, error) { return d.RunContext(context.Background()) }
+
+// RunContext clusters the points under a cancellation context, checked
+// every ctxCheckEvery core-detection range queries.
+func (d *DBSCANPP) RunContext(ctx context.Context) (*Result, error) {
 	n := len(d.Points)
 	if err := validateParams(n, d.Eps, d.Tau); err != nil {
 		return nil, err
@@ -57,6 +62,9 @@ func (d *DBSCANPP) Run() (*Result, error) {
 	cores := make([]int, 0, m)
 	coreNeighbors := make(map[int][]int, m)
 	for _, s := range sample {
+		if err := checkCtx(ctx, res.RangeQueries); err != nil {
+			return nil, err
+		}
 		neighbors := idx.RangeSearch(d.Points[s], d.Eps)
 		res.RangeQueries++
 		if len(neighbors) >= d.Tau {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,7 +30,12 @@ type KNNBlock struct {
 }
 
 // Run clusters the points.
-func (k *KNNBlock) Run() (*Result, error) {
+func (k *KNNBlock) Run() (*Result, error) { return k.RunContext(context.Background()) }
+
+// RunContext clusters the points under a cancellation context, checked
+// every ctxCheckEvery KNN queries of the core-detection phase (the
+// dominant cost; the later phases are linear map scans).
+func (k *KNNBlock) RunContext(ctx context.Context) (*Result, error) {
 	n := len(k.Points)
 	if err := validateParams(n, k.Eps, k.Tau); err != nil {
 		return nil, err
@@ -58,6 +64,9 @@ func (k *KNNBlock) Run() (*Result, error) {
 	neighborLists := make([][]int, n)
 	isCore := make([]bool, n)
 	for i := 0; i < n; i++ {
+		if err := checkCtx(ctx, res.RangeQueries); err != nil {
+			return nil, err
+		}
 		ids, dists := tree.KNN(k.Points[i], kq)
 		res.RangeQueries++
 		cut := 0

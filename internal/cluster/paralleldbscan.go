@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"time"
 
 	"lafdbscan/internal/index"
@@ -57,7 +58,13 @@ type ParallelDBSCAN struct {
 }
 
 // Run clusters the points.
-func (d *ParallelDBSCAN) Run() (*Result, error) {
+func (d *ParallelDBSCAN) Run() (*Result, error) { return d.RunContext(context.Background()) }
+
+// RunContext clusters the points under a cancellation context. The wave
+// engine checks it at each wave barrier (aborting within one wave at zero
+// hot-path cost); the buffer-everything engine of WaveSize < 0 checks it
+// between phases only.
+func (d *ParallelDBSCAN) RunContext(ctx context.Context) (*Result, error) {
 	n := len(d.Points)
 	if err := validateParams(n, d.Eps, d.Tau); err != nil {
 		return nil, err
@@ -67,7 +74,7 @@ func (d *ParallelDBSCAN) Run() (*Result, error) {
 		idx = index.NewBruteForce(d.Points, metricFunc(d.Metric))
 	}
 	if d.WaveSize < 0 {
-		return d.runBuffered(idx)
+		return d.runBuffered(ctx, idx)
 	}
 	start := time.Now()
 	res := &Result{Algorithm: "DBSCAN", RangeQueries: n}
@@ -75,8 +82,10 @@ func (d *ParallelDBSCAN) Run() (*Result, error) {
 	// Phase 1: neighbor discovery in bounded waves, each result folded into
 	// the merger (core flag, unions, stub) and dropped.
 	m := NewWaveMerger(n, d.Tau)
-	index.BatchRangeSearchFunc(idx, d.Points, d.Eps, d.Workers, d.BatchSize, d.WaveSize,
-		func(p int, ids []int) { m.Absorb(p, ids) })
+	if err := index.BatchRangeSearchFunc(ctx, idx, d.Points, d.Eps, d.Workers, d.BatchSize, d.WaveSize,
+		func(p int, ids []int) { m.Absorb(p, ids) }); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: sequential label resolution.
 	res.Labels = m.Resolve(nil)
@@ -89,13 +98,19 @@ func (d *ParallelDBSCAN) Run() (*Result, error) {
 // materialized before merging, peaking at O(Σ|N(p)|) extra memory. Kept
 // selectable (WaveSize < 0) as the baseline the wave engine's memory
 // benchmarks and regression tests compare against.
-func (d *ParallelDBSCAN) runBuffered(idx index.RangeSearcher) (*Result, error) {
+func (d *ParallelDBSCAN) runBuffered(ctx context.Context, idx index.RangeSearcher) (*Result, error) {
 	n := len(d.Points)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res := &Result{Algorithm: "DBSCAN", RangeQueries: n}
 
 	// Phase 1: all neighborhoods, one batched sweep over the worker pool.
 	neighbors := index.BatchRangeSearch(idx, d.Points, d.Eps, d.Workers, d.BatchSize)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	core := make([]bool, n)
 	for i, nb := range neighbors {
 		core[i] = len(nb) >= d.Tau

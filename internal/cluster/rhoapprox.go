@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,7 +32,11 @@ type RhoApprox struct {
 }
 
 // Run clusters the points.
-func (r *RhoApprox) Run() (*Result, error) {
+func (r *RhoApprox) Run() (*Result, error) { return r.RunContext(context.Background()) }
+
+// RunContext clusters the points under a cancellation context, checked
+// every ctxCheckEvery grid queries.
+func (r *RhoApprox) RunContext(ctx context.Context) (*Result, error) {
 	n := len(r.Points)
 	if err := validateParams(n, r.Eps, r.Tau); err != nil {
 		return nil, err
@@ -53,6 +58,9 @@ func (r *RhoApprox) Run() (*Result, error) {
 	for p := 0; p < n; p++ {
 		if labels[p] != Undefined {
 			continue
+		}
+		if err := checkCtx(ctx, res.RangeQueries); err != nil {
+			return nil, err
 		}
 		neighbors := grid.ApproxRangeSearch(r.Points[p], epsEuc)
 		res.RangeQueries++
@@ -79,6 +87,9 @@ func (r *RhoApprox) Run() (*Result, error) {
 				continue
 			}
 			labels[q] = c
+			if err := checkCtx(ctx, res.RangeQueries); err != nil {
+				return nil, err
+			}
 			qn := grid.ApproxRangeSearch(r.Points[q], epsEuc)
 			res.RangeQueries++
 			if len(qn) >= r.Tau {

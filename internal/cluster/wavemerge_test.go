@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -113,8 +114,10 @@ func TestWaveMergerStubsBounded(t *testing.T) {
 	idx := index.NewBruteForce(d.Vectors, vecmath.CosineDistanceUnit)
 	n := d.Len()
 	m := NewWaveMerger(n, tau)
-	index.BatchRangeSearchFunc(idx, d.Vectors, eps, 2, 4, 32,
-		func(p int, ids []int) { m.Absorb(p, ids) })
+	if err := index.BatchRangeSearchFunc(context.Background(), idx, d.Vectors, eps, 2, 4, 32,
+		func(p int, ids []int) { m.Absorb(p, ids) }); err != nil {
+		t.Fatal(err)
+	}
 	core := m.Core()
 	for p, stub := range m.stubs {
 		if core[p] && stub != nil {

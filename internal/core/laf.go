@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -30,6 +31,21 @@ import (
 	"lafdbscan/internal/cluster"
 	"lafdbscan/internal/vecmath"
 )
+
+// ctxCheckEvery is how many range queries (or estimator gates) a sequential
+// LAF engine runs between context checks — the sequential analogue of the
+// parallel engines' per-wave check, cheap enough to be invisible on the hot
+// path.
+const ctxCheckEvery = 64
+
+// checkCtx returns ctx.Err() on every ctxCheckEvery-th query (and on the
+// first, so a pre-cancelled context never starts work).
+func checkCtx(ctx context.Context, queries int) error {
+	if queries%ctxCheckEvery == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
 
 // PartialNeighbors is the map E of Algorithm 1: predicted stop point id →
 // the set of its neighbors discovered by other points' range queries.

@@ -412,7 +412,10 @@ func TestLAFDBSCANWithTrainedRMIEndToEnd(t *testing.T) {
 		NoiseFrac: 0.25, SizeSkew: 1.0, Seed: 51,
 	})
 	rng := rand.New(rand.NewSource(52))
-	train, test := full.Split(0.8, rng)
+	train, test, err := full.Split(0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	examples := cardest.BuildTrainingSet(train.Vectors, vecmath.CosineDistanceUnit,
 		cardest.DefaultRadii(), 250, rng)

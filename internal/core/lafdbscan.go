@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -21,7 +22,12 @@ type LAFDBSCAN struct {
 }
 
 // Run clusters the points.
-func (l *LAFDBSCAN) Run() (*cluster.Result, error) {
+func (l *LAFDBSCAN) Run() (*cluster.Result, error) { return l.RunContext(context.Background()) }
+
+// RunContext clusters the points under a cancellation context: the
+// sequential engine checks it every ctxCheckEvery gate/query decisions, the
+// parallel wave engine at each wave barrier (aborting within one wave).
+func (l *LAFDBSCAN) RunContext(ctx context.Context) (*cluster.Result, error) {
 	n := len(l.Points)
 	if err := l.Config.validate(n); err != nil {
 		return nil, err
@@ -35,7 +41,7 @@ func (l *LAFDBSCAN) Run() (*cluster.Result, error) {
 		idx = index.NewBruteForce(l.Points, dist)
 	}
 	if l.Config.Workers != 0 {
-		return l.runParallel(idx)
+		return l.runParallel(ctx, idx)
 	}
 	cfg := l.Config
 	threshold := cfg.Alpha * float64(cfg.Tau)
@@ -53,6 +59,9 @@ func (l *LAFDBSCAN) Run() (*cluster.Result, error) {
 	for p := 0; p < n; p++ {
 		if labels[p] != cluster.Undefined {
 			continue
+		}
+		if err := checkCtx(ctx, res.RangeQueries+res.SkippedQueries); err != nil {
+			return nil, err
 		}
 		// LAF gate (lines 6-9): skip the range query for predicted stop
 		// points, remembering them in E for post-processing.
@@ -88,6 +97,9 @@ func (l *LAFDBSCAN) Run() (*cluster.Result, error) {
 				continue
 			}
 			labels[q] = c
+			if err := checkCtx(ctx, res.RangeQueries+res.SkippedQueries); err != nil {
+				return nil, err
+			}
 			// LAF gate on the expansion query (lines 22-27).
 			if est.Estimate(l.Points[q], cfg.Eps) >= threshold {
 				qn := idx.RangeSearch(l.Points[q], cfg.Eps)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -26,7 +27,12 @@ type LAFDBSCANPP struct {
 }
 
 // Run clusters the points.
-func (l *LAFDBSCANPP) Run() (*cluster.Result, error) {
+func (l *LAFDBSCANPP) Run() (*cluster.Result, error) { return l.RunContext(context.Background()) }
+
+// RunContext clusters the points under a cancellation context: the
+// sequential engine checks it every ctxCheckEvery gate/query decisions, the
+// parallel wave engine at each wave barrier (aborting within one wave).
+func (l *LAFDBSCANPP) RunContext(ctx context.Context) (*cluster.Result, error) {
 	n := len(l.Points)
 	if err := l.Config.validate(n); err != nil {
 		return nil, err
@@ -39,7 +45,7 @@ func (l *LAFDBSCANPP) Run() (*cluster.Result, error) {
 		idx = index.NewBruteForce(l.Points, vecmath.CosineDistanceUnit)
 	}
 	if l.Config.Workers != 0 {
-		return l.runParallel(idx)
+		return l.runParallel(ctx, idx)
 	}
 	cfg := l.Config
 	threshold := cfg.Alpha * float64(cfg.Tau)
@@ -60,6 +66,9 @@ func (l *LAFDBSCANPP) Run() (*cluster.Result, error) {
 	cores := make([]int, 0, m)
 	coreNeighbors := make(map[int][]int, m)
 	for _, s := range sample {
+		if err := checkCtx(ctx, res.RangeQueries+res.SkippedQueries); err != nil {
+			return nil, err
+		}
 		if est.Estimate(l.Points[s], cfg.Eps) < threshold {
 			e.Ensure(s)
 			res.SkippedQueries++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -75,11 +76,13 @@ func (s *stopStripes) update(e PartialNeighbors, p int, ids []int) {
 }
 
 // runParallel is LAF-DBSCAN's multi-core engine: the memory-bounded wave
-// formulation, or the buffer-everything engine when WaveSize < 0.
-func (l *LAFDBSCAN) runParallel(idx index.RangeSearcher) (*cluster.Result, error) {
+// formulation, or the buffer-everything engine when WaveSize < 0. The
+// context is checked between the gate and query phases and at every wave
+// barrier inside the query phase.
+func (l *LAFDBSCAN) runParallel(ctx context.Context, idx index.RangeSearcher) (*cluster.Result, error) {
 	cfg := l.Config
 	if cfg.WaveSize < 0 {
-		return l.runParallelBuffered(idx)
+		return l.runParallelBuffered(ctx, idx)
 	}
 	n := len(l.Points)
 	workers, grain := poolParams(cfg)
@@ -124,12 +127,14 @@ func (l *LAFDBSCAN) runParallel(idx index.RangeSearcher) (*cluster.Result, error
 	}
 	m := cluster.NewWaveMerger(n, cfg.Tau)
 	var stripes stopStripes
-	index.BatchRangeSearchFunc(idx, qpts, cfg.Eps, workers, grain, cfg.WaveSize,
+	if err := index.BatchRangeSearchFunc(ctx, idx, qpts, cfg.Eps, workers, grain, cfg.WaveSize,
 		func(k int, ids []int) {
 			p := queried[k]
 			m.Absorb(p, ids)
 			stripes.update(e, p, ids)
-		})
+		}); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: sequential label resolution, same rules as ParallelDBSCAN.
 	res.Labels = m.Resolve(e)
@@ -146,7 +151,10 @@ func (l *LAFDBSCAN) runParallel(idx index.RangeSearcher) (*cluster.Result, error
 // runParallelBuffered is LAF-DBSCAN's buffer-everything engine: all
 // neighbor lists are materialized before merging (peak O(Σ|N(p)|)). Kept
 // selectable (WaveSize < 0) as the wave engine's comparison baseline.
-func (l *LAFDBSCAN) runParallelBuffered(idx index.RangeSearcher) (*cluster.Result, error) {
+func (l *LAFDBSCAN) runParallelBuffered(ctx context.Context, idx index.RangeSearcher) (*cluster.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg := l.Config
 	n := len(l.Points)
 	workers, grain := poolParams(cfg)
@@ -173,6 +181,9 @@ func (l *LAFDBSCAN) runParallelBuffered(idx index.RangeSearcher) (*cluster.Resul
 		qpts[k] = l.Points[id]
 	}
 	results := index.BatchRangeSearch(idx, qpts, cfg.Eps, workers, grain)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	neighbors := make([][]int, n)
 	core := make([]bool, n)
 	for k, id := range queried {
@@ -216,10 +227,10 @@ func (l *LAFDBSCAN) runParallelBuffered(idx index.RangeSearcher) (*cluster.Resul
 // runParallel is LAF-DBSCAN++'s multi-core engine. The rng stream is
 // consumed in the same order as the sequential engine (sample permutation
 // first, post-processing second), so a fixed seed selects the same sample.
-func (l *LAFDBSCANPP) runParallel(idx index.RangeSearcher) (*cluster.Result, error) {
+func (l *LAFDBSCANPP) runParallel(ctx context.Context, idx index.RangeSearcher) (*cluster.Result, error) {
 	cfg := l.Config
 	if cfg.WaveSize < 0 {
-		return l.runParallelBuffered(idx)
+		return l.runParallelBuffered(ctx, idx)
 	}
 	n := len(l.Points)
 	workers, grain := poolParams(cfg)
@@ -261,12 +272,14 @@ func (l *LAFDBSCANPP) runParallel(idx index.RangeSearcher) (*cluster.Result, err
 	merger.SkipStubs()
 	var stripes stopStripes
 	coreMask := make([]bool, len(queried))
-	index.BatchRangeSearchFunc(idx, qpts, cfg.Eps, workers, grain, cfg.WaveSize,
+	if err := index.BatchRangeSearchFunc(ctx, idx, qpts, cfg.Eps, workers, grain, cfg.WaveSize,
 		func(k int, ids []int) {
 			s := queried[k]
 			coreMask[k] = merger.Absorb(s, ids)
 			stripes.update(e, s, ids)
-		})
+		}); err != nil {
+		return nil, err
+	}
 	cores := make([]int, 0, len(queried))
 	for k, s := range queried {
 		if coreMask[k] {
@@ -285,7 +298,10 @@ func (l *LAFDBSCANPP) runParallel(idx index.RangeSearcher) (*cluster.Result, err
 
 // runParallelBuffered is LAF-DBSCAN++'s buffer-everything engine (all
 // sample neighbor lists at once), kept selectable via WaveSize < 0.
-func (l *LAFDBSCANPP) runParallelBuffered(idx index.RangeSearcher) (*cluster.Result, error) {
+func (l *LAFDBSCANPP) runParallelBuffered(ctx context.Context, idx index.RangeSearcher) (*cluster.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg := l.Config
 	n := len(l.Points)
 	workers, grain := poolParams(cfg)
@@ -315,6 +331,9 @@ func (l *LAFDBSCANPP) runParallelBuffered(idx index.RangeSearcher) (*cluster.Res
 		qpts[k] = l.Points[s]
 	}
 	results := index.BatchRangeSearch(idx, qpts, cfg.Eps, workers, grain)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.RangeQueries = len(queried)
 
 	// Core detection preserves sample order, so cluster numbering matches

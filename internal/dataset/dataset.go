@@ -107,13 +107,23 @@ func (d *Dataset) Sample(name string, n int, rng *rand.Rand) *Dataset {
 // Split partitions the dataset into train and test subsets with the given
 // train fraction (the paper uses 8:2). The split is a random permutation
 // under rng, so repeated calls with the same seed are reproducible.
-func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test *Dataset) {
-	if trainFrac < 0 || trainFrac > 1 {
-		panic(fmt.Sprintf("dataset: train fraction %v out of [0,1]", trainFrac))
+//
+// trainFrac must lie strictly inside (0, 1), and must round to at least one
+// point on each side: fractions at or beyond the boundary used to produce
+// an empty train or test subset silently, which surfaced later as a
+// confusing estimator-training or clustering failure. Both are reported as
+// errors here, at the point of the mistake.
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: train fraction %v outside (0, 1)", trainFrac)
+	}
+	cut := int(float64(d.Len()) * trainFrac)
+	if cut == 0 || cut == d.Len() {
+		return nil, nil, fmt.Errorf("dataset %q: train fraction %v leaves an empty subset for %d points",
+			d.Name, trainFrac, d.Len())
 	}
 	perm := rng.Perm(d.Len())
-	cut := int(float64(d.Len()) * trainFrac)
 	train = d.Subset(d.Name+"-train", perm[:cut])
 	test = d.Subset(d.Name+"-test", perm[cut:])
-	return train, test
+	return train, test, nil
 }

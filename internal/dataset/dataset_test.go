@@ -69,7 +69,10 @@ func TestSubsetAndSample(t *testing.T) {
 func TestSplitDisjointCover(t *testing.T) {
 	d := GloVeLike(200, 5)
 	rng := rand.New(rand.NewSource(9))
-	train, test := d.Split(0.8, rng)
+	train, test, err := d.Split(0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if train.Len()+test.Len() != d.Len() {
 		t.Fatalf("split sizes %d+%d != %d", train.Len(), test.Len(), d.Len())
 	}
@@ -87,14 +90,18 @@ func TestSplitDisjointCover(t *testing.T) {
 	}
 }
 
-func TestSplitPanicsOnBadFraction(t *testing.T) {
+func TestSplitRejectsBadFractions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
 	d := TwoBlobs(3, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	for _, frac := range []float64{-0.5, 0, 1, 1.5} {
+		if _, _, err := d.Split(frac, rng); err == nil {
+			t.Errorf("train fraction %v accepted", frac)
 		}
-	}()
-	d.Split(1.5, rand.New(rand.NewSource(1)))
+	}
+	// In range, but rounding to an empty train subset on a tiny dataset.
+	if _, _, err := d.Split(0.01, rng); err == nil {
+		t.Error("empty train subset accepted")
+	}
 }
 
 func TestGenerateMixtureShape(t *testing.T) {

@@ -1,7 +1,10 @@
 package index
 
 import (
+	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"lafdbscan/internal/vecmath"
@@ -46,7 +49,7 @@ func TestBruteForceStreamingMatchesSerial(t *testing.T) {
 	const eps = 0.8
 	for _, wave := range []int{0, 1, 7, 60, 1000} {
 		got := collectStream(len(queries), func(fn func(int, []int)) {
-			b.BatchRangeSearchFuncWorkers(queries, eps, 3, 4, wave, fn)
+			b.BatchRangeSearchFuncWorkers(context.Background(), queries, eps, 3, 4, wave, fn)
 		})
 		for i, q := range queries {
 			assertSameIDs(t, "brute force", got[i], b.RangeSearch(q, eps))
@@ -58,7 +61,7 @@ func TestBruteForceStreamingCountsQueries(t *testing.T) {
 	pts := batchTestPoints(100, 8, 12)
 	b := NewBruteForce(pts, vecmath.CosineDistanceUnit)
 	b.ResetQueries()
-	b.BatchRangeSearchFuncWorkers(pts[:37], 0.5, 2, 4, 8, func(int, []int) {})
+	b.BatchRangeSearchFuncWorkers(context.Background(), pts[:37], 0.5, 2, 4, 8, func(int, []int) {})
 	if got := b.Queries(); got != 37 {
 		t.Errorf("query counter = %d, want 37", got)
 	}
@@ -74,7 +77,7 @@ func TestGenericStreamingHelperCoverTree(t *testing.T) {
 	const eps = 1.0
 	for _, workers := range []int{0, 1, 4} {
 		got := collectStream(len(queries), func(fn func(int, []int)) {
-			BatchRangeSearchFunc(ct, queries, eps, workers, 4, 16, fn)
+			BatchRangeSearchFunc(context.Background(), ct, queries, eps, workers, 4, 16, fn)
 		})
 		for i, q := range queries {
 			assertSameIDs(t, "cover tree", got[i], ct.RangeSearch(q, eps))
@@ -90,7 +93,7 @@ func TestGridAndKMeansTreeStreaming(t *testing.T) {
 
 	g := NewGrid(pts, 1.0, 0.5)
 	got := collectStream(len(queries), func(fn func(int, []int)) {
-		g.BatchApproxRangeSearchFunc(queries, 1.0, 3, 4, 8, fn)
+		g.BatchApproxRangeSearchFunc(context.Background(), queries, 1.0, 3, 4, 8, fn)
 	})
 	for i, q := range queries {
 		assertSameIDs(t, "grid", got[i], g.ApproxRangeSearch(q, 1.0))
@@ -98,9 +101,65 @@ func TestGridAndKMeansTreeStreaming(t *testing.T) {
 
 	kt := NewKMeansTree(pts, vecmath.CosineDistanceUnit, KMeansTreeConfig{Seed: 1, LeavesRatio: 1})
 	got = collectStream(len(queries), func(fn func(int, []int)) {
-		kt.BatchRangeSearchApproxFunc(queries, 0.8, 3, 4, 8, fn)
+		kt.BatchRangeSearchApproxFunc(context.Background(), queries, 0.8, 3, 4, 8, fn)
 	})
 	for i, q := range queries {
 		assertSameIDs(t, "kmeans tree", got[i], kt.RangeSearchApprox(q, 0.8))
+	}
+}
+
+// TestStreamingCancelAbortsWithinOneWave pins the wave engines' cancellation
+// contract: a context cancelled mid-wave lets the in-flight wave finish (its
+// callbacks all run) and stops at the next wave barrier, so no more than one
+// wave of callbacks follows the cancellation. Both the native brute-force
+// path and the generic fallback are exercised.
+func TestStreamingCancelAbortsWithinOneWave(t *testing.T) {
+	pts := batchTestPoints(200, 8, 15)
+	const wave = 10
+	run := func(label string, stream func(ctx context.Context, fn func(int, []int)) error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var calls atomic.Int64
+		err := stream(ctx, func(int, []int) {
+			if calls.Add(1) == 3 {
+				cancel() // mid-first-wave
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", label, err)
+		}
+		if got := calls.Load(); got > wave {
+			t.Errorf("%s: %d callbacks after mid-wave cancel, want <= one wave (%d)", label, got, wave)
+		}
+	}
+	b := NewBruteForce(pts, vecmath.CosineDistanceUnit)
+	run("brute force", func(ctx context.Context, fn func(int, []int)) error {
+		return b.BatchRangeSearchFuncWorkers(ctx, pts, 0.8, 2, 2, wave, fn)
+	})
+	ct := NewCoverTree(pts, vecmath.EuclideanDistance, 2.0)
+	run("generic/cover tree", func(ctx context.Context, fn func(int, []int)) error {
+		return BatchRangeSearchFunc(ctx, ct, pts, 1.0, 2, 2, wave, fn)
+	})
+}
+
+// TestWaveProgressHook checks that WithWaveProgress observes every wave and
+// that the reported increments sum to the query count.
+func TestWaveProgressHook(t *testing.T) {
+	pts := batchTestPoints(100, 8, 16)
+	b := NewBruteForce(pts, vecmath.CosineDistanceUnit)
+	var total atomic.Int64
+	waves := 0
+	ctx := WithWaveProgress(context.Background(), func(q int) {
+		total.Add(int64(q))
+		waves++
+	})
+	if err := b.BatchRangeSearchFuncWorkers(ctx, pts[:37], 0.5, 2, 4, 8, func(int, []int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 37 {
+		t.Errorf("progress total = %d, want 37", total.Load())
+	}
+	if waves != 5 { // ceil(37/8)
+		t.Errorf("progress callbacks = %d, want 5", waves)
 	}
 }

@@ -1,0 +1,592 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lafdbscan"
+	"lafdbscan/internal/index"
+)
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity. It
+// is a backpressure signal, not a failure: the submission was not accepted
+// and can be retried once a worker frees up (the HTTP layer maps it to
+// 429 Too Many Requests with a Retry-After hint).
+var ErrQueueFull = errors.New("serve: job queue full, retry later")
+
+// ErrUnknownJob reports a reference to a job id the engine is not
+// retaining (never submitted, or evicted past the retention cap); the
+// HTTP layer maps it to 404.
+var ErrUnknownJob = errors.New("unknown job")
+
+// JobState is a job's lifecycle position. Transitions: queued → running →
+// done | failed | canceled, or queued → canceled directly when the cancel
+// arrives before a worker picks the job up.
+type JobState string
+
+// The job states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// EstimatorSpec names the estimator a LAF job should use: an
+// EstimatorConfig, trained on the job's dataset (or TrainDataset when set).
+// The engine resolves it through the EstimatorCache, so every job sharing a
+// spec shares one trained model.
+type EstimatorSpec struct {
+	// TrainDataset optionally names a different registered dataset to
+	// train on (the paper's train/test split, server-side). Empty means
+	// "train on the job's own dataset".
+	TrainDataset string
+	Config       lafdbscan.EstimatorConfig
+}
+
+// JobSpec is a clustering job submission: a registered dataset, any method
+// of lafdbscan.Methods() (plus rho-approx), its parameters, and, for the
+// LAF methods, the estimator to gate with. Params.Estimator and
+// Params.Index are engine-owned — the engine fills them from the estimator
+// cache and the dataset registry; values supplied by the caller are
+// ignored.
+type JobSpec struct {
+	Dataset   string
+	Method    lafdbscan.Method
+	Params    lafdbscan.Params
+	Estimator *EstimatorSpec
+}
+
+// Job is one submitted clustering job. All fields are engine-managed;
+// callers observe jobs through Status and Result snapshots.
+type Job struct {
+	id   string
+	spec JobSpec
+
+	// queriesDone counts completed range queries, fed by the wave engines'
+	// progress hook; it is the poll-able progress signal.
+	queriesDone atomic.Int64
+
+	mu              sync.Mutex
+	state           JobState
+	err             error
+	result          *lafdbscan.Result
+	cancel          context.CancelFunc // non-nil while running
+	cancelRequested bool
+	estimatorCached bool
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+}
+
+// JobStatus is a point-in-time snapshot of a job, shaped for JSON.
+type JobStatus struct {
+	ID      string           `json:"id"`
+	Dataset string           `json:"dataset"`
+	Method  lafdbscan.Method `json:"method"`
+	State   JobState         `json:"state"`
+	// QueriesDone is the number of range queries completed so far (and
+	// after completion, in total) — the engine's progress measure.
+	QueriesDone int64  `json:"queries_done"`
+	Error       string `json:"error,omitempty"`
+	// EstimatorCached reports whether the job's estimator came from the
+	// cache (false when this job paid for training; meaningless for
+	// non-LAF methods).
+	EstimatorCached bool       `json:"estimator_cached,omitempty"`
+	Created         time.Time  `json:"created"`
+	Started         *time.Time `json:"started,omitempty"`
+	Finished        *time.Time `json:"finished,omitempty"`
+}
+
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:              j.id,
+		Dataset:         j.spec.Dataset,
+		Method:          j.spec.Method,
+		State:           j.state,
+		QueriesDone:     j.queriesDone.Load(),
+		EstimatorCached: j.estimatorCached,
+		Created:         j.created,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+// Options sizes an Engine.
+type Options struct {
+	// Workers is the number of jobs allowed to run concurrently; <= 0
+	// selects GOMAXPROCS. This is the oversubscription guard: each job may
+	// itself fan out over Params.Workers cores, so the product
+	// Workers × Params.Workers is the operator's concurrency budget.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-running jobs;
+	// <= 0 selects 64. Beyond it Submit returns ErrQueueFull.
+	QueueDepth int
+	// MaxJobs bounds how many jobs (including finished ones, kept for
+	// result fetches) are retained; <= 0 selects 4096. When exceeded, the
+	// oldest finished jobs are evicted.
+	MaxJobs int
+	// Run substitutes the clustering call (default
+	// lafdbscan.ClusterContext). Tests use controllable fakes to pin the
+	// job lifecycle without clustering work.
+	Run runFunc
+}
+
+// runFunc executes one clustering call. The engine's default is
+// lafdbscan.ClusterContext; tests substitute controllable fakes to pin the
+// lifecycle without real clustering work.
+type runFunc func(ctx context.Context, points [][]float32, m lafdbscan.Method, p lafdbscan.Params) (*lafdbscan.Result, error)
+
+// Engine is the asynchronous job engine: Submit hands a clustering job to
+// a bounded worker pool and returns immediately; Status/Result poll it;
+// Cancel aborts it (within one neighbor-discovery wave for the parallel
+// engines, a few dozen queries for the sequential ones) and frees its
+// worker slot.
+type Engine struct {
+	reg *Registry
+	est *EstimatorCache
+	run runFunc
+
+	workers int
+	qdepth  int
+
+	mu      sync.Mutex
+	qcond   *sync.Cond // signaled when pending grows or the engine closes
+	pending []*Job     // FIFO of accepted-but-not-running jobs
+	jobs    map[string]*Job
+	order   []string // submission order, for listing and eviction
+	seq     int64
+	closed  bool
+
+	busy      atomic.Int32
+	submitted atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+
+	maxJobs int
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// EngineStats is the engine's /stats view.
+type EngineStats struct {
+	Workers     int   `json:"workers"`
+	BusyWorkers int   `json:"busy_workers"`
+	QueueDepth  int   `json:"queue_depth"`
+	Queued      int   `json:"queued"`
+	Submitted   int64 `json:"submitted"`
+	Done        int64 `json:"done"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+}
+
+// NewEngine builds an engine over a registry and estimator cache and starts
+// its worker pool. Call Close to stop it.
+func NewEngine(reg *Registry, est *EstimatorCache, opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 4096
+	}
+	run := opts.Run
+	if run == nil {
+		run = lafdbscan.ClusterContext
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	e := &Engine{
+		reg: reg, est: est, run: run,
+		workers: workers, qdepth: depth,
+		jobs: make(map[string]*Job), maxJobs: maxJobs,
+		baseCtx: ctx, stop: stop,
+	}
+	e.qcond = sync.NewCond(&e.mu)
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the engine: new submissions are rejected, still-queued jobs
+// are marked canceled without ever executing, running jobs are canceled
+// through their contexts, and Close returns when every worker has exited.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	pending := e.pending
+	e.pending = nil
+	e.qcond.Broadcast()
+	e.mu.Unlock()
+	for _, job := range pending {
+		e.markCanceled(job)
+	}
+	e.stop()
+	e.wg.Wait()
+}
+
+// markCanceled finalizes a never-run job as canceled (no-op once the job
+// left the queued state).
+func (e *Engine) markCanceled(job *Job) {
+	job.mu.Lock()
+	if job.state == JobQueued {
+		job.state = JobCanceled
+		job.finished = time.Now()
+		e.canceled.Add(1)
+	}
+	job.mu.Unlock()
+}
+
+// Submit validates and enqueues a job, returning its id immediately. A
+// full queue returns ErrQueueFull (retryable); validation failures return
+// descriptive errors the HTTP layer maps to 400s.
+func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
+	if err := e.validate(&spec); err != nil {
+		return JobStatus{}, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return JobStatus{}, errors.New("serve: engine closed")
+	}
+	if len(e.pending) >= e.qdepth {
+		e.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+	e.seq++
+	job := &Job{
+		id:      fmt.Sprintf("j-%06d", e.seq),
+		spec:    spec,
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	e.pending = append(e.pending, job)
+	e.jobs[job.id] = job
+	e.order = append(e.order, job.id)
+	e.evictLocked()
+	e.qcond.Signal()
+	e.mu.Unlock()
+	e.submitted.Add(1)
+	return job.status(), nil
+}
+
+// validate rejects a spec the engine could not run: unknown method,
+// unregistered dataset, out-of-domain parameters, or a LAF method without
+// an estimator spec. Sampling methods additionally need a positive sample
+// fraction — checked here so the mistake costs a 400, not a failed job.
+func (e *Engine) validate(spec *JobSpec) error {
+	known := false
+	for _, m := range append(lafdbscan.Methods(), lafdbscan.MethodRhoApprox) {
+		if spec.Method == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("serve: unknown method %q", spec.Method)
+	}
+	if _, err := e.reg.Get(spec.Dataset); err != nil {
+		return err
+	}
+	// Estimator and Index are resolved by the engine at run time; clear
+	// caller-supplied values so validation and execution see engine state.
+	spec.Params.Estimator = nil
+	spec.Params.Index = nil
+	if err := spec.Params.Validate(); err != nil {
+		return err
+	}
+	isLAF := spec.Method == lafdbscan.MethodLAFDBSCAN || spec.Method == lafdbscan.MethodLAFDBSCANPP
+	if isLAF && spec.Estimator == nil {
+		return fmt.Errorf("serve: method %q requires an estimator spec", spec.Method)
+	}
+	if spec.Estimator != nil && spec.Estimator.TrainDataset != "" {
+		if _, err := e.reg.Get(spec.Estimator.TrainDataset); err != nil {
+			return err
+		}
+	}
+	sampled := spec.Method == lafdbscan.MethodDBSCANPP || spec.Method == lafdbscan.MethodLAFDBSCANPP
+	if sampled && spec.Params.SampleFraction <= 0 {
+		return fmt.Errorf("serve: method %q requires a sample fraction in (0, 1]", spec.Method)
+	}
+	// Only DBSCAN and LAF-DBSCAN honor Params.Metric; every other method
+	// is hardwired to cosine distance (converting internally where its
+	// structure needs Euclidean). Accepting a non-cosine metric for them
+	// would silently run a different clustering than requested — worse,
+	// with an injected index it would mix metrics within one run.
+	metricful := spec.Method == lafdbscan.MethodDBSCAN || spec.Method == lafdbscan.MethodLAFDBSCAN
+	if !metricful && spec.Params.Metric != lafdbscan.MetricCosine {
+		return fmt.Errorf("serve: method %q supports only the cosine metric", spec.Method)
+	}
+	return nil
+}
+
+// Status returns a snapshot of the named job.
+func (e *Engine) Status(id string) (JobStatus, error) {
+	job, err := e.job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return job.status(), nil
+}
+
+// Result returns the clustering result of a finished job. Jobs in any
+// other state return an error naming the state, so callers can distinguish
+// "not yet" (queued/running) from "never" (failed/canceled).
+func (e *Engine) Result(id string) (*lafdbscan.Result, error) {
+	job, err := e.job(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.state != JobDone {
+		return nil, fmt.Errorf("serve: job %s is %s, no result", id, job.state)
+	}
+	return job.result, nil
+}
+
+// Cancel aborts a job: a queued job is marked canceled and skipped when a
+// worker pops it; a running job has its context canceled, which the
+// clustering engines honor within one wave, freeing the worker slot.
+// Cancelling an already-finished job is a no-op reporting the final state.
+func (e *Engine) Cancel(id string) (JobStatus, error) {
+	job, err := e.job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	job.mu.Lock()
+	switch job.state {
+	case JobQueued:
+		job.cancelRequested = true
+		job.state = JobCanceled
+		job.finished = time.Now()
+		e.canceled.Add(1)
+		job.mu.Unlock()
+		// Free the queue slot so backpressure reflects runnable work. If a
+		// worker popped the job between the unlock and here, removePending
+		// finds nothing and the worker's own queued-state check skips it.
+		e.removePending(job)
+		return job.status(), nil
+	case JobRunning:
+		job.cancelRequested = true
+		job.cancel()
+	}
+	job.mu.Unlock()
+	return job.status(), nil
+}
+
+// removePending deletes a job from the FIFO, preserving order.
+func (e *Engine) removePending(job *Job) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, j := range e.pending {
+		if j == job {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// List returns a snapshot of every retained job in submission order.
+func (e *Engine) List() []JobStatus {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	e.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if job, err := e.job(id); err == nil {
+			out = append(out, job.status())
+		}
+	}
+	return out
+}
+
+// Stats returns the engine counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	queued := len(e.pending)
+	e.mu.Unlock()
+	return EngineStats{
+		Workers:     e.workers,
+		BusyWorkers: int(e.busy.Load()),
+		QueueDepth:  e.qdepth,
+		Queued:      queued,
+		Submitted:   e.submitted.Load(),
+		Done:        e.done.Load(),
+		Failed:      e.failed.Load(),
+		Canceled:    e.canceled.Load(),
+	}
+}
+
+func (e *Engine) job(id string) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: job %s: %w", id, ErrUnknownJob)
+	}
+	return job, nil
+}
+
+// evictLocked drops the oldest finished jobs once the retention cap is
+// exceeded. Queued and running jobs are never evicted, so the cap can be
+// transiently exceeded while that many jobs are genuinely in flight.
+func (e *Engine) evictLocked() {
+	if len(e.jobs) <= e.maxJobs {
+		return
+	}
+	kept := e.order[:0]
+	excess := len(e.jobs) - e.maxJobs
+	for _, id := range e.order {
+		job := e.jobs[id]
+		if excess > 0 {
+			job.mu.Lock()
+			finished := job.state == JobDone || job.state == JobFailed || job.state == JobCanceled
+			job.mu.Unlock()
+			if finished {
+				delete(e.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+// worker is one slot of the pool: it pops pending jobs until the engine
+// closes, skipping those canceled while queued.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.pending) == 0 && !e.closed {
+			e.qcond.Wait()
+		}
+		if len(e.pending) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		job := e.pending[0]
+		e.pending = e.pending[1:]
+		e.mu.Unlock()
+		e.runJob(job)
+	}
+}
+
+// runJob drives one job through its lifecycle.
+func (e *Engine) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state != JobQueued { // canceled while queued
+		job.mu.Unlock()
+		return
+	}
+	if e.baseCtx.Err() != nil { // engine shutting down: never start work
+		job.state = JobCanceled
+		job.finished = time.Now()
+		job.mu.Unlock()
+		e.canceled.Add(1)
+		return
+	}
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	job.cancel = cancel
+	job.state = JobRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+	defer cancel()
+
+	e.busy.Add(1)
+	res, err := e.execute(ctx, job)
+	e.busy.Add(-1)
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.cancel = nil
+	switch {
+	case err == nil:
+		job.state = JobDone
+		job.result = res
+		e.done.Add(1)
+	case errors.Is(err, context.Canceled):
+		job.state = JobCanceled
+		job.err = err
+		e.canceled.Add(1)
+	default:
+		job.state = JobFailed
+		job.err = err
+		e.failed.Add(1)
+	}
+	job.mu.Unlock()
+}
+
+// execute resolves the job's shared resources — dataset vectors, the
+// per-(dataset, metric) index, the cached estimator — wires the progress
+// hook, and runs the clustering call.
+func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, error) {
+	spec := job.spec
+	ds, err := e.reg.Get(spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	p := spec.Params
+	if idx, ierr := e.reg.Index(spec.Dataset, p.Metric); ierr == nil {
+		p.Index = idx
+	}
+	if spec.Estimator != nil {
+		trainName := spec.Estimator.TrainDataset
+		trainVecs := ds.Vectors
+		if trainName == "" {
+			trainName = spec.Dataset
+		} else {
+			tds, terr := e.reg.Get(trainName)
+			if terr != nil {
+				return nil, terr
+			}
+			trainVecs = tds.Vectors
+		}
+		cfg := spec.Estimator.Config
+		if cfg.TargetSize == 0 {
+			cfg.TargetSize = ds.Len()
+		}
+		est, cached, _, eerr := e.est.Get(ctx, trainName, trainVecs, cfg)
+		if eerr != nil {
+			return nil, eerr
+		}
+		job.mu.Lock()
+		job.estimatorCached = cached
+		job.mu.Unlock()
+		p.Estimator = est
+	}
+	ctx = index.WithWaveProgress(ctx, func(q int) { job.queriesDone.Add(int64(q)) })
+	return e.run(ctx, ds.Vectors, spec.Method, p)
+}

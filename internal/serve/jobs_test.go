@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lafdbscan"
+	"lafdbscan/internal/dataset"
+)
+
+// testRegistry returns a registry with one small MS-like dataset under the
+// given name.
+func testRegistry(t *testing.T, name string, n int) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	if err := reg.Register(name, dataset.MSLike(n, 7), "synthetic:ms"); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// waitState polls until the job reaches want (fatal on timeout or on a
+// different terminal state).
+func waitState(t *testing.T, e *Engine, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := e.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		terminal := st.State == JobDone || st.State == JobFailed || st.State == JobCanceled
+		if terminal || time.Now().After(deadline) {
+			t.Fatalf("job %s is %s (err %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func submit(t *testing.T, e *Engine, spec JobSpec) string {
+	t.Helper()
+	st, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+func dbscanSpec(ds string) JobSpec {
+	return JobSpec{Dataset: ds, Method: lafdbscan.MethodDBSCAN,
+		Params: lafdbscan.Params{Eps: 0.55, Tau: 5}}
+}
+
+// TestJobLifecycleSubmitRunningDone drives a job through queued → running →
+// done with a fake runner gated on channels, asserting each observable
+// state and that the result comes back through Result.
+func TestJobLifecycleSubmitRunningDone(t *testing.T) {
+	reg := testRegistry(t, "d", 50)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	want := &lafdbscan.Result{Algorithm: "fake", Labels: []int{1, 2, 3}}
+	e := NewEngine(reg, NewEstimatorCache(), Options{
+		Workers: 1, QueueDepth: 4,
+		Run: func(ctx context.Context, pts [][]float32, m lafdbscan.Method, p lafdbscan.Params) (*lafdbscan.Result, error) {
+			close(started)
+			<-release
+			return want, nil
+		},
+	})
+	defer e.Close()
+
+	id := submit(t, e, dbscanSpec("d"))
+	if _, err := e.Result(id); err == nil {
+		t.Error("Result before completion succeeded")
+	}
+	<-started
+	waitState(t, e, id, JobRunning)
+	close(release)
+	waitState(t, e, id, JobDone)
+	res, err := e.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != want {
+		t.Error("Result returned a different object than the runner produced")
+	}
+	if s := e.Stats(); s.Done != 1 || s.Submitted != 1 {
+		t.Errorf("stats = %+v, want 1 submitted / 1 done", s)
+	}
+}
+
+// TestJobCancelMidRunFreesWorker cancels a running job (fake runner that
+// honors its context) and asserts the terminal state is canceled and that
+// the freed worker slot runs a subsequent job to completion.
+func TestJobCancelMidRunFreesWorker(t *testing.T) {
+	reg := testRegistry(t, "d", 50)
+	started := make(chan struct{})
+	e := NewEngine(reg, NewEstimatorCache(), Options{
+		Workers: 1, QueueDepth: 4,
+		Run: func(ctx context.Context, pts [][]float32, m lafdbscan.Method, p lafdbscan.Params) (*lafdbscan.Result, error) {
+			select {
+			case <-started:
+			default:
+				close(started)
+				<-ctx.Done() // the canceled job blocks until its context fires
+				return nil, ctx.Err()
+			}
+			return &lafdbscan.Result{Algorithm: "fake"}, nil
+		},
+	})
+	defer e.Close()
+
+	id := submit(t, e, dbscanSpec("d"))
+	<-started
+	if _, err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, id, JobCanceled)
+	if _, err := e.Result(id); err == nil {
+		t.Error("Result of a canceled job succeeded")
+	}
+	// The worker slot must be free again: a fresh job runs to completion.
+	id2 := submit(t, e, dbscanSpec("d"))
+	waitState(t, e, id2, JobDone)
+	if s := e.Stats(); s.Canceled != 1 || s.Done != 1 || s.BusyWorkers != 0 {
+		t.Errorf("stats = %+v, want 1 canceled / 1 done / 0 busy", s)
+	}
+}
+
+// TestJobCancelQueued cancels a job that never left the queue (the single
+// worker is pinned by a blocker) and asserts the worker later skips it.
+func TestJobCancelQueued(t *testing.T) {
+	reg := testRegistry(t, "d", 50)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := NewEngine(reg, NewEstimatorCache(), Options{
+		Workers: 1, QueueDepth: 4,
+		Run: func(ctx context.Context, pts [][]float32, m lafdbscan.Method, p lafdbscan.Params) (*lafdbscan.Result, error) {
+			select {
+			case <-started:
+			default:
+				close(started)
+				<-release
+			}
+			return &lafdbscan.Result{Algorithm: "fake"}, nil
+		},
+	})
+	defer e.Close()
+
+	blocker := submit(t, e, dbscanSpec("d"))
+	<-started
+	queued := submit(t, e, dbscanSpec("d"))
+	st, err := e.Cancel(queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCanceled {
+		t.Fatalf("queued job state after cancel = %s, want canceled", st.State)
+	}
+	close(release)
+	waitState(t, e, blocker, JobDone)
+	// The canceled job must never transition out of canceled.
+	if st, _ := e.Status(queued); st.State != JobCanceled {
+		t.Errorf("canceled queued job ended up %s", st.State)
+	}
+}
+
+// TestQueueFullBackpressure fills the 1-deep queue behind a pinned worker
+// and asserts the next submission returns ErrQueueFull — the retryable
+// signal — and that the same spec is accepted again once the queue drains.
+func TestQueueFullBackpressure(t *testing.T) {
+	reg := testRegistry(t, "d", 50)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := NewEngine(reg, NewEstimatorCache(), Options{
+		Workers: 1, QueueDepth: 1,
+		Run: func(ctx context.Context, pts [][]float32, m lafdbscan.Method, p lafdbscan.Params) (*lafdbscan.Result, error) {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			<-release
+			return &lafdbscan.Result{Algorithm: "fake"}, nil
+		},
+	})
+	defer e.Close()
+
+	running := submit(t, e, dbscanSpec("d")) // occupies the worker
+	<-started
+	queued := submit(t, e, dbscanSpec("d")) // fills the queue
+	if _, err := e.Submit(dbscanSpec("d")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	waitState(t, e, running, JobDone)
+	waitState(t, e, queued, JobDone)
+	retried := submit(t, e, dbscanSpec("d")) // retry succeeds after drain
+	waitState(t, e, retried, JobDone)
+}
+
+// TestSubmitValidation pins the 400-class rejections: unknown method,
+// unregistered dataset, out-of-domain params, LAF without an estimator
+// spec, sampling method without a fraction.
+func TestSubmitValidation(t *testing.T) {
+	reg := testRegistry(t, "d", 50)
+	e := NewEngine(reg, NewEstimatorCache(), Options{Workers: 1})
+	defer e.Close()
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"unknown method", JobSpec{Dataset: "d", Method: "nope",
+			Params: lafdbscan.Params{Eps: 0.5, Tau: 5}}},
+		{"unregistered dataset", JobSpec{Dataset: "missing", Method: lafdbscan.MethodDBSCAN,
+			Params: lafdbscan.Params{Eps: 0.5, Tau: 5}}},
+		{"bad eps", JobSpec{Dataset: "d", Method: lafdbscan.MethodDBSCAN,
+			Params: lafdbscan.Params{Eps: 3, Tau: 5}}},
+		{"laf without estimator", JobSpec{Dataset: "d", Method: lafdbscan.MethodLAFDBSCAN,
+			Params: lafdbscan.Params{Eps: 0.5, Tau: 5}}},
+		{"dbscan++ without fraction", JobSpec{Dataset: "d", Method: lafdbscan.MethodDBSCANPP,
+			Params: lafdbscan.Params{Eps: 0.5, Tau: 5}}},
+		{"unknown train dataset", JobSpec{Dataset: "d", Method: lafdbscan.MethodLAFDBSCAN,
+			Params:    lafdbscan.Params{Eps: 0.5, Tau: 5},
+			Estimator: &EstimatorSpec{TrainDataset: "missing"}}},
+	}
+	for _, c := range cases {
+		if _, err := e.Submit(c.spec); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if s := e.Stats(); s.Submitted != 0 {
+		t.Errorf("rejected submissions counted: %+v", s)
+	}
+}
+
+// TestRealCancelAbortsWithinOneWave runs a real parallel DBSCAN job with a
+// small wave size, cancels as soon as progress shows the waves flowing, and
+// asserts the run stopped early: terminal state canceled, and the query
+// counter well short of the full n — the job engine end of the wave-barrier
+// cancellation contract pinned at the index layer.
+func TestRealCancelAbortsWithinOneWave(t *testing.T) {
+	const n = 1500
+	reg := testRegistry(t, "big", n)
+	e := NewEngine(reg, NewEstimatorCache(), Options{Workers: 1, QueueDepth: 2})
+	defer e.Close()
+
+	id := submit(t, e, JobSpec{Dataset: "big", Method: lafdbscan.MethodDBSCAN,
+		Params: lafdbscan.Params{Eps: 0.55, Tau: 5, Workers: 1, WaveSize: 16}})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := e.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.QueriesDone > 0 {
+			break
+		}
+		if st.State == JobDone || time.Now().After(deadline) {
+			t.Fatalf("job finished (%s) before a cancel could land; grow n", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, e, id, JobCanceled)
+	if st.QueriesDone >= n {
+		t.Errorf("cancelled job executed all %d queries", n)
+	}
+	t.Logf("cancelled after %d/%d queries", st.QueriesDone, n)
+}
+
+// TestJobLabelsIdenticalToDirectCluster is the correctness contract of the
+// whole subsystem: for every method in Methods() (plus rho-approx), a job
+// run through the engine — shared registry index, cached estimator — must
+// produce labels bit-identical to a direct lafdbscan.Cluster call with the
+// same parameters and an identically-configured estimator.
+func TestJobLabelsIdenticalToDirectCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an estimator and runs every method")
+	}
+	const n = 300
+	ds := dataset.MSLike(n, 7)
+	reg := NewRegistry()
+	if err := reg.Register("d", ds, "synthetic:ms"); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(reg, NewEstimatorCache(), Options{Workers: 2, QueueDepth: 16})
+	defer e.Close()
+
+	estCfg := lafdbscan.EstimatorConfig{
+		MaxQueries: 120, Hidden: []int{24, 12}, Epochs: 8, Seed: 1,
+	}
+	params := lafdbscan.Params{
+		Eps: 0.55, Tau: 5, Alpha: 1.2, SampleFraction: 0.5,
+		Rho: 1.0, Seed: 3, Workers: 2, WaveSize: 64,
+	}
+
+	// The direct calls use an estimator trained exactly as the engine
+	// trains its cached one (TargetSize defaults to the dataset size);
+	// training is deterministic per config, so the models are identical.
+	directCfg := estCfg
+	directCfg.TargetSize = n
+	est, err := lafdbscan.TrainRMIEstimator(ds.Vectors, directCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	methods := append(lafdbscan.Methods(), lafdbscan.MethodRhoApprox)
+	for _, m := range methods {
+		spec := JobSpec{Dataset: "d", Method: m, Params: params}
+		if m == lafdbscan.MethodLAFDBSCAN || m == lafdbscan.MethodLAFDBSCANPP {
+			spec.Estimator = &EstimatorSpec{Config: estCfg}
+		}
+		id := submit(t, e, spec)
+		waitState(t, e, id, JobDone)
+		got, err := e.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dp := params
+		dp.Estimator = est
+		want, err := lafdbscan.Cluster(ds.Vectors, m, dp)
+		if err != nil {
+			t.Fatalf("%s: direct call: %v", m, err)
+		}
+		if len(got.Labels) != len(want.Labels) {
+			t.Fatalf("%s: %d labels, want %d", m, len(got.Labels), len(want.Labels))
+		}
+		for i := range got.Labels {
+			if got.Labels[i] != want.Labels[i] {
+				t.Fatalf("%s: label[%d] = %d, want %d", m, i, got.Labels[i], want.Labels[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentLAFJobsShareOneTraining is the acceptance scenario: eight
+// concurrent LAF-DBSCAN jobs against one registered dataset must train the
+// estimator once (1 miss, 7 hits) and agree label-for-label.
+func TestConcurrentLAFJobsShareOneTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an estimator and runs 8 jobs")
+	}
+	const jobs = 8
+	reg := testRegistry(t, "d", 250)
+	est := NewEstimatorCache()
+	e := NewEngine(reg, est, Options{Workers: 4, QueueDepth: jobs})
+	defer e.Close()
+
+	spec := JobSpec{Dataset: "d", Method: lafdbscan.MethodLAFDBSCAN,
+		Params: lafdbscan.Params{Eps: 0.55, Tau: 5, Alpha: 1.2, Seed: 3, Workers: 2},
+		Estimator: &EstimatorSpec{Config: lafdbscan.EstimatorConfig{
+			MaxQueries: 100, Hidden: []int{16, 8}, Epochs: 6, Seed: 1,
+		}}}
+	ids := make([]string, jobs)
+	for i := range ids {
+		ids[i] = submit(t, e, spec)
+	}
+	var first []int
+	for i, id := range ids {
+		waitState(t, e, id, JobDone)
+		res, err := e.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Labels
+			continue
+		}
+		for k := range res.Labels {
+			if res.Labels[k] != first[k] {
+				t.Fatalf("job %d label[%d] = %d, want %d", i, k, res.Labels[k], first[k])
+			}
+		}
+	}
+	st := est.Stats()
+	if st.Misses != 1 || st.Hits != jobs-1 || st.Entries != 1 {
+		t.Errorf("estimator cache stats = %+v, want 1 miss / %d hits / 1 entry", st, jobs-1)
+	}
+}
+
+// TestCancelQueuedFreesQueueSlot pins the backpressure fix: canceling a
+// queued job releases its queue slot immediately, so a follow-up Submit is
+// accepted without waiting for a worker to drain the corpse.
+func TestCancelQueuedFreesQueueSlot(t *testing.T) {
+	reg := testRegistry(t, "d", 50)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := NewEngine(reg, NewEstimatorCache(), Options{
+		Workers: 1, QueueDepth: 1,
+		Run: func(ctx context.Context, pts [][]float32, m lafdbscan.Method, p lafdbscan.Params) (*lafdbscan.Result, error) {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			<-release
+			return &lafdbscan.Result{Algorithm: "fake"}, nil
+		},
+	})
+	defer e.Close()
+	defer close(release)
+
+	submit(t, e, dbscanSpec("d")) // occupies the worker
+	<-started
+	queued := submit(t, e, dbscanSpec("d")) // fills the queue
+	if _, err := e.Submit(dbscanSpec("d")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit into full queue err = %v, want ErrQueueFull", err)
+	}
+	if _, err := e.Cancel(queued); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Queued != 0 {
+		t.Errorf("queued count after cancel = %d, want 0", s.Queued)
+	}
+	if _, err := e.Submit(dbscanSpec("d")); err != nil {
+		t.Errorf("submit after canceling the queued job err = %v, want accepted", err)
+	}
+}
+
+// TestSubmitRejectsNonCosineMetricForCosineOnlyMethods: only DBSCAN and
+// LAF-DBSCAN honor Params.Metric; for every other method a non-cosine
+// metric must be a submission error, not a silently different clustering.
+func TestSubmitRejectsNonCosineMetricForCosineOnlyMethods(t *testing.T) {
+	reg := testRegistry(t, "d", 50)
+	e := NewEngine(reg, NewEstimatorCache(), Options{Workers: 1})
+	defer e.Close()
+	cosineOnly := []lafdbscan.Method{
+		lafdbscan.MethodDBSCANPP, lafdbscan.MethodLAFDBSCANPP,
+		lafdbscan.MethodKNNBlock, lafdbscan.MethodBlockDBSCAN, lafdbscan.MethodRhoApprox,
+	}
+	for _, m := range cosineOnly {
+		spec := JobSpec{Dataset: "d", Method: m, Params: lafdbscan.Params{
+			Eps: 0.5, Tau: 5, SampleFraction: 0.5, Rho: 1, Metric: lafdbscan.MetricEuclidean,
+		}}
+		if m == lafdbscan.MethodLAFDBSCANPP {
+			spec.Estimator = &EstimatorSpec{}
+		}
+		if _, err := e.Submit(spec); err == nil {
+			t.Errorf("%s accepted a euclidean metric", m)
+		}
+	}
+	id := submit(t, e, JobSpec{Dataset: "d", Method: lafdbscan.MethodDBSCAN,
+		Params: lafdbscan.Params{Eps: 0.5, Tau: 5, Metric: lafdbscan.MetricEuclidean}})
+	waitState(t, e, id, JobDone) // the metric-aware method still works
+}
+
+// TestCancelDuringEstimatorTrainingFreesWorker pins the training-abandon
+// fix: a LAF job canceled while its estimator is still fitting releases
+// the worker slot right away (the training itself finishes on its own
+// goroutine and lands in the cache). The config below trains for minutes
+// if the wait is not interruptible, so reaching canceled within the
+// waitState deadline is the assertion.
+func TestCancelDuringEstimatorTrainingFreesWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a deliberately slow training")
+	}
+	reg := testRegistry(t, "d", 200)
+	e := NewEngine(reg, NewEstimatorCache(), Options{Workers: 1, QueueDepth: 2})
+	defer e.Close()
+
+	id := submit(t, e, JobSpec{Dataset: "d", Method: lafdbscan.MethodLAFDBSCAN,
+		Params: lafdbscan.Params{Eps: 0.55, Tau: 5},
+		Estimator: &EstimatorSpec{Config: lafdbscan.EstimatorConfig{
+			Epochs: 200000, Hidden: []int{64, 32}, MaxQueries: 200, Seed: 1,
+		}}})
+	waitState(t, e, id, JobRunning)
+	if _, err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, id, JobCanceled)
+	// The freed slot must take new work while the orphan training runs on.
+	id2 := submit(t, e, dbscanSpec("d"))
+	waitState(t, e, id2, JobDone)
+}

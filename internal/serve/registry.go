@@ -1,0 +1,223 @@
+// Package serve turns the lafdbscan library into a long-running clustering
+// service: a dataset registry that loads and normalizes named datasets once
+// and shares their vectors and range-query indexes across requests, an
+// estimator cache that trains each (dataset, EstimatorConfig) RMI exactly
+// once, and an asynchronous job engine that runs any clustering method of
+// the library on a bounded worker pool with cancellation and progress.
+// cmd/lafserve exposes all three over HTTP JSON.
+//
+// The design follows the paper's own economics one level up: LAF amortizes
+// a learned cardinality estimator across many range queries; a server
+// amortizes datasets, indexes and trained estimators across many requests.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lafdbscan"
+	"lafdbscan/internal/dataset"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes with errors.Is.
+var (
+	// ErrNotFound reports a reference to a dataset that was never
+	// registered (HTTP 404).
+	ErrNotFound = errors.New("dataset not registered")
+	// ErrExists reports a Register under a name already taken (HTTP 409).
+	ErrExists = errors.New("dataset already registered")
+)
+
+// DatasetInfo describes a registered dataset.
+type DatasetInfo struct {
+	Name   string `json:"name"`
+	Points int    `json:"points"`
+	Dims   int    `json:"dims"`
+	// Source records how the dataset entered the registry ("file:<path>",
+	// "synthetic:<kind>", "inline").
+	Source string `json:"source"`
+}
+
+// Registry holds named datasets, loaded or ingested once and shared by
+// every request that references them. Vectors are unit-normalized on
+// ingestion (the contract of every clustering method in the library) and
+// never mutated afterwards, so concurrent jobs can share the backing
+// slices. Per-(dataset, metric) brute-force indexes are built lazily on
+// first use and shared the same way.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*registryEntry
+}
+
+type registryEntry struct {
+	ds     *dataset.Dataset
+	source string
+
+	// indexes maps a metric onto the shared brute-force range-query engine
+	// over ds.Vectors, built lazily under idxMu so concurrent first users
+	// construct it exactly once.
+	idxMu   sync.Mutex
+	indexes map[lafdbscan.DistanceMetric]lafdbscan.RangeIndex
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*registryEntry)}
+}
+
+// Register adds a dataset under name, normalizing its vectors in place
+// (idempotent for already-normalized data). It rejects empty names, empty
+// datasets, structurally invalid datasets and duplicate names — a
+// registered dataset is immutable for the life of the server, which is
+// what makes sharing it across concurrent jobs safe.
+func (r *Registry) Register(name string, ds *dataset.Dataset, source string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty dataset name")
+	}
+	if ds == nil || ds.Len() == 0 {
+		return fmt.Errorf("serve: dataset %q is empty", name)
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	ds.Normalize()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("serve: dataset %q: %w", name, ErrExists)
+	}
+	r.entries[name] = &registryEntry{
+		ds: ds, source: source,
+		indexes: make(map[lafdbscan.DistanceMetric]lafdbscan.RangeIndex),
+	}
+	return nil
+}
+
+// RegisterFile loads a dataset file written by Dataset.Save / cmd/datagen
+// and registers it under name (or its stored name when name is empty).
+func (r *Registry) RegisterFile(name, path string) (DatasetInfo, error) {
+	ds, err := dataset.Load(path)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	if name == "" {
+		name = ds.Name
+	}
+	if err := r.Register(name, ds, "file:"+path); err != nil {
+		return DatasetInfo{}, err
+	}
+	return r.info(name), nil
+}
+
+// RegisterSynthetic generates one of the library's synthetic corpus
+// stand-ins (kind "ms", "glove" or "nyt") and registers it.
+func (r *Registry) RegisterSynthetic(name, kind string, n int, seed int64) (DatasetInfo, error) {
+	if n <= 0 {
+		return DatasetInfo{}, fmt.Errorf("serve: synthetic dataset size %d must be positive", n)
+	}
+	var ds *dataset.Dataset
+	switch kind {
+	case "ms":
+		ds = dataset.MSLike(n, seed)
+	case "glove":
+		ds = dataset.GloVeLike(n, seed)
+	case "nyt":
+		ds = dataset.NYTLike(dataset.NYTLikeConfig{N: n, Seed: seed, NoiseFrac: 0.15})
+	default:
+		return DatasetInfo{}, fmt.Errorf("serve: unknown synthetic kind %q (want ms, glove or nyt)", kind)
+	}
+	if err := r.Register(name, ds, "synthetic:"+kind); err != nil {
+		return DatasetInfo{}, err
+	}
+	return r.info(name), nil
+}
+
+// RegisterVectors ingests raw vectors (e.g. from a JSON request body) as a
+// named dataset.
+func (r *Registry) RegisterVectors(name string, vectors [][]float32) (DatasetInfo, error) {
+	ds := &dataset.Dataset{Name: name, Vectors: vectors}
+	if err := r.Register(name, ds, "inline"); err != nil {
+		return DatasetInfo{}, err
+	}
+	return r.info(name), nil
+}
+
+// Get returns the shared dataset registered under name.
+func (r *Registry) Get(name string) (*dataset.Dataset, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.ds, nil
+}
+
+// Index returns the shared brute-force range-query engine over the named
+// dataset under the given metric, building it on first use. Sharing the
+// index (rather than letting every clustering run construct its own) is
+// the registry's second amortization after the vectors themselves; the
+// labels are identical either way because the engine is the same
+// construction the library defaults to.
+func (r *Registry) Index(name string, metric lafdbscan.DistanceMetric) (lafdbscan.RangeIndex, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return nil, err
+	}
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	idx, ok := e.indexes[metric]
+	if !ok {
+		idx = lafdbscan.NewBruteForceIndex(e.ds.Vectors, metric)
+		e.indexes[metric] = idx
+	}
+	return idx, nil
+}
+
+// Info returns the description of one registered dataset.
+func (r *Registry) Info(name string) (DatasetInfo, error) {
+	if _, err := r.get(name); err != nil {
+		return DatasetInfo{}, err
+	}
+	return r.info(name), nil
+}
+
+// List returns every registered dataset, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, r.infoLocked(name))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+func (r *Registry) get(name string) (*registryEntry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: dataset %q: %w", name, ErrNotFound)
+	}
+	return e, nil
+}
+
+func (r *Registry) info(name string) DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.infoLocked(name)
+}
+
+func (r *Registry) infoLocked(name string) DatasetInfo {
+	e := r.entries[name]
+	return DatasetInfo{Name: name, Points: e.ds.Len(), Dims: e.ds.Dim(), Source: e.source}
+}

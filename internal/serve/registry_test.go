@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"lafdbscan"
+	"lafdbscan/internal/dataset"
+)
+
+// TestRegistrySharesOneIndex checks the index amortization: concurrent
+// requests for the same (dataset, metric) get the same index instance, and
+// different metrics get different ones.
+func TestRegistrySharesOneIndex(t *testing.T) {
+	reg := testRegistry(t, "d", 40)
+	const goroutines = 8
+	got := make([]lafdbscan.RangeIndex, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx, err := reg.Index("d", lafdbscan.MetricCosine)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = idx
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent Index calls built distinct indexes")
+		}
+	}
+	euc, err := reg.Index("d", lafdbscan.MetricEuclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if euc == got[0] {
+		t.Error("euclidean and cosine share one index")
+	}
+}
+
+// TestRegistryRejects pins the registration error cases.
+func TestRegistryRejects(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("", dataset.MSLike(10, 1), "x"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := reg.Register("d", &dataset.Dataset{}, "x"); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if err := reg.Register("d", dataset.MSLike(10, 1), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("d", dataset.MSLike(10, 1), "x"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := reg.RegisterSynthetic("s", "bogus", 10, 1); err == nil {
+		t.Error("unknown synthetic kind accepted")
+	}
+	if _, err := reg.RegisterSynthetic("s", "ms", 0, 1); err == nil {
+		t.Error("zero-size synthetic accepted")
+	}
+	// Inline vectors are normalized on ingestion.
+	info, err := reg.RegisterVectors("inline", [][]float32{{3, 0}, {0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Points != 2 || info.Dims != 2 {
+		t.Errorf("inline info = %+v", info)
+	}
+	ds, err := reg.Get("inline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.IsNormalized(1e-5) {
+		t.Error("inline vectors not normalized")
+	}
+}
+
+// TestEstimatorCacheFailureNotCached checks that a failed training is
+// dropped (so a corrected request can retry) and never counted as a hit.
+func TestEstimatorCacheFailureNotCached(t *testing.T) {
+	c := NewEstimatorCache()
+	// Empty training set fails inside TrainRMIEstimator.
+	_, _, _, err := c.Get(context.Background(), "d", nil, lafdbscan.EstimatorConfig{})
+	if err == nil {
+		t.Fatal("training on an empty set succeeded")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Hits != 0 {
+		t.Errorf("failed training cached: %+v", st)
+	}
+}

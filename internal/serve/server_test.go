@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"lafdbscan"
+	"lafdbscan/internal/dataset"
+)
+
+// smokeBase returns the base URL to run the end-to-end walkthrough against:
+// a live lafserve process when LAFSERVE_SMOKE_URL is set (the CI smoke job
+// starts one and points the test at it), an in-process httptest server
+// otherwise. The walkthrough itself is identical either way.
+func smokeBase(t *testing.T) (base string, cleanup func()) {
+	t.Helper()
+	if url := os.Getenv("LAFSERVE_SMOKE_URL"); url != "" {
+		return url, func() {}
+	}
+	s := NewServer(Options{Workers: 2, QueueDepth: 16})
+	ts := httptest.NewServer(s.Handler())
+	return ts.URL, func() { ts.Close(); s.Close() }
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeResp(t, resp)
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeResp(t, resp)
+}
+
+func decodeResp(t *testing.T, resp *http.Response) (int, map[string]any) {
+	t.Helper()
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestServerSmoke is the end-to-end walkthrough the CI smoke job runs
+// against a real lafserve process (and every test run exercises in
+// process): register a synthetic dataset, train the estimator through the
+// cache, submit a LAF-DBSCAN job, poll it to completion, fetch the labels,
+// and assert ARI == 1.0 against a direct library run with identical
+// parameters. It finishes with a /stats sanity check.
+func TestServerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an estimator end to end")
+	}
+	base, cleanup := smokeBase(t)
+	defer cleanup()
+
+	const n, dsSeed = 400, 7
+	// Unique per run so re-running against a long-lived live server does
+	// not collide with a previous registration.
+	name := fmt.Sprintf("smoke-%d", time.Now().UnixNano())
+
+	// 1. Register a synthetic MS MARCO-like dataset.
+	code, body := postJSON(t, base+"/v1/datasets", map[string]any{
+		"name":      name,
+		"synthetic": map[string]any{"kind": "ms", "n": n, "seed": dsSeed},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	if body["points"].(float64) != n {
+		t.Fatalf("registered %v points, want %d", body["points"], n)
+	}
+
+	// 2. Train the estimator (explicitly, so the job below is a cache hit).
+	estimator := map[string]any{
+		"max_queries": 120, "hidden": []int{24, 12}, "epochs": 8, "seed": 1,
+	}
+	code, body = postJSON(t, base+"/v1/estimators", map[string]any{
+		"dataset": name, "estimator": estimator,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("train estimator: %d %v", code, body)
+	}
+	if body["cached"].(bool) {
+		t.Fatal("fresh estimator reported as cached")
+	}
+
+	// 3. Submit a LAF-DBSCAN job.
+	params := map[string]any{"eps": 0.55, "tau": 5, "alpha": 1.2, "seed": 3, "workers": 2}
+	code, body = postJSON(t, base+"/v1/jobs", map[string]any{
+		"dataset": name, "method": "laf-dbscan", "params": params, "estimator": estimator,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	id := body["id"].(string)
+
+	// 4. Poll to completion.
+	deadline := time.Now().Add(60 * time.Second)
+	var state string
+	for {
+		code, body = getJSON(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %v", code, body)
+		}
+		state = body["state"].(string)
+		if state == "done" || state == "failed" || state == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("job ended %q: %v", state, body["error"])
+	}
+	if !body["estimator_cached"].(bool) {
+		t.Error("job did not hit the estimator cache")
+	}
+
+	// 5. Fetch the labels.
+	code, body = getJSON(t, base+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %v", code, body)
+	}
+	raw := body["labels"].([]any)
+	labels := make([]int, len(raw))
+	for i, v := range raw {
+		labels[i] = int(v.(float64))
+	}
+
+	// 6. The library result with identical parameters: same synthetic
+	// dataset, same estimator config (training is deterministic), same
+	// clustering params. ARI must be exactly 1.0.
+	ds := dataset.MSLike(n, dsSeed)
+	est, err := lafdbscan.TrainRMIEstimator(ds.Vectors, lafdbscan.EstimatorConfig{
+		MaxQueries: 120, Hidden: []int{24, 12}, Epochs: 8, Seed: 1, TargetSize: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lafdbscan.Cluster(ds.Vectors, lafdbscan.MethodLAFDBSCAN, lafdbscan.Params{
+		Eps: 0.55, Tau: 5, Alpha: 1.2, Seed: 3, Workers: 2, Estimator: est,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := lafdbscan.ARI(want.Labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari != 1.0 {
+		t.Fatalf("ARI vs library result = %v, want exactly 1.0", ari)
+	}
+
+	// 7. /stats reflects the cache amortization.
+	code, body = getJSON(t, base+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %v", code, body)
+	}
+	cache := body["estimator_cache"].(map[string]any)
+	if cache["hits"].(float64) < 1 {
+		t.Errorf("estimator cache hits = %v, want >= 1", cache["hits"])
+	}
+	t.Logf("smoke OK: ARI=1.0, estimator cache %v, jobs %v", cache, body["jobs"])
+}
+
+// TestServerHTTPStatusMapping pins the error contract of the HTTP layer:
+// 404 for unknown names, 409 for duplicates and not-ready results, 400 for
+// domain errors, 429 with Retry-After for a full queue.
+func TestServerHTTPStatusMapping(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := getJSON(t, ts.URL+"/v1/datasets/none"); code != http.StatusNotFound {
+		t.Errorf("unknown dataset: %d, want 404", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/j-999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+
+	reg := map[string]any{"name": "d", "synthetic": map[string]any{"kind": "ms", "n": 60, "seed": 1}}
+	if code, body := postJSON(t, ts.URL+"/v1/datasets", reg); code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/datasets", reg); code != http.StatusConflict {
+		t.Errorf("duplicate dataset: %d, want 409", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/datasets", map[string]any{"name": "x"}); code != http.StatusBadRequest {
+		t.Errorf("sourceless dataset: %d, want 400", code)
+	}
+
+	badJob := map[string]any{"dataset": "d", "method": "dbscan",
+		"params": map[string]any{"eps": 5.0, "tau": 5}}
+	if code, _ := postJSON(t, ts.URL+"/v1/jobs", badJob); code != http.StatusBadRequest {
+		t.Errorf("bad eps: %d, want 400", code)
+	}
+
+	// A fast job on the idle engine: result is 409 until done, then 200.
+	job := map[string]any{"dataset": "d", "method": "dbscan",
+		"params": map[string]any{"eps": 0.55, "tau": 5}}
+	code, body := postJSON(t, ts.URL+"/v1/jobs", job)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	id := body["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body = getJSON(t, ts.URL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %v", code, body)
+		}
+		if state := body["state"].(string); state == "done" {
+			break
+		} else if state == "failed" || state == "canceled" {
+			t.Fatalf("fast job ended %q: %v", state, body["error"])
+		}
+		if c, _ := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result"); c != http.StatusConflict && c != http.StatusOK {
+			// 409 while pending; 200 only if the job finished between the
+			// two requests.
+			t.Fatalf("not-ready result: %d, want 409", c)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fast job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ = getJSON(t, ts.URL+"/v1/jobs/"+id+"/result"); code != http.StatusOK {
+		t.Errorf("done result: %d, want 200", code)
+	}
+
+	// Backpressure: jobs on a dataset big enough to pin the single worker
+	// for seconds. Slot 1 runs, slot 2 queues, slot 3 must bounce with 429.
+	slow := map[string]any{"name": "slow", "synthetic": map[string]any{"kind": "ms", "n": 1500, "seed": 2}}
+	if code, body := postJSON(t, ts.URL+"/v1/datasets", slow); code != http.StatusCreated {
+		t.Fatalf("register slow: %d %v", code, body)
+	}
+	slowJob := map[string]any{"dataset": "slow", "method": "dbscan",
+		"params": map[string]any{"eps": 0.55, "tau": 5, "workers": 1, "wave_size": 16}}
+	var slowIDs []string
+	got429 := false
+	for i := 0; i < 3; i++ {
+		code, body = postJSON(t, ts.URL+"/v1/jobs", slowJob)
+		switch code {
+		case http.StatusAccepted:
+			slowIDs = append(slowIDs, body["id"].(string))
+		case http.StatusTooManyRequests:
+			got429 = true
+		default:
+			t.Fatalf("slow submit %d: unexpected %d %v", i, code, body)
+		}
+	}
+	if !got429 {
+		t.Error("never saw 429 from a full queue")
+	}
+	// Cancel the slow jobs so engine shutdown is prompt.
+	for _, sid := range slowIDs {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sid, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, _ := decodeResp(t, resp); c != http.StatusOK {
+			t.Errorf("cancel %s: %d", sid, c)
+		}
+	}
+
+	if code, _ = getJSON(t, ts.URL+"/v1/healthz"); code != http.StatusOK {
+		t.Errorf("healthz: %d", code)
+	}
+}

@@ -11,7 +11,7 @@
 // # Quick start
 //
 //	data := lafdbscan.MSLike(4000, 1)      // 768-dim synthetic embeddings
-//	train, test := lafdbscan.Split(data, 0.8, 42)
+//	train, test, _ := lafdbscan.Split(data, 0.8, 42)
 //
 //	est, _ := lafdbscan.TrainRMIEstimator(train.Vectors, lafdbscan.EstimatorConfig{
 //		TargetSize: test.Len(),
@@ -26,6 +26,7 @@
 package lafdbscan
 
 import (
+	"context"
 	"fmt"
 
 	"lafdbscan/internal/cardest"
@@ -118,6 +119,33 @@ type Params struct {
 	// Labels are identical at every setting. Ignored by the sequential
 	// engines.
 	WaveSize int
+
+	// Index optionally supplies a pre-built range-query engine, letting a
+	// long-running caller (the lafserve registry) build one index per
+	// dataset and share it across requests instead of rebuilding per run.
+	// It must index exactly the points passed to the entry point, under
+	// the same metric as Params.Metric. Honored by DBSCAN, DBSCAN++ and
+	// the LAF variants; KNN-BLOCK, BLOCK-DBSCAN and ρ-approximate build
+	// their own specialized structures and ignore it. Labels are identical
+	// with or without a shared index.
+	Index RangeIndex
+}
+
+// RangeIndex answers range queries over an indexed point set; see
+// Params.Index. The brute-force implementation behind the default engines
+// is safe for concurrent use across clustering runs.
+type RangeIndex = index.RangeSearcher
+
+// NewBruteForceIndex builds the default parallel brute-force range-query
+// engine over points under the given metric — the index the clustering
+// entry points construct per run when Params.Index is nil, exposed so
+// serving layers can build it once and share it.
+func NewBruteForceIndex(points [][]float32, m DistanceMetric) RangeIndex {
+	dist := vecmath.CosineDistanceUnit
+	if m != MetricCosine {
+		dist = m.Func()
+	}
+	return index.NewBruteForce(points, dist)
 }
 
 // WorkersAuto sizes the parallel engine's worker pool to GOMAXPROCS.
@@ -146,74 +174,135 @@ func EuclideanToCosine(deuc float64) float64 { return vecmath.EuclideanToCosine(
 // scores every approximate method against. With Params.Workers set it runs
 // the parallel engine, whose labels are identical to the sequential one's.
 func DBSCAN(points [][]float32, p Params) (*Result, error) {
+	return DBSCANContext(context.Background(), points, p)
+}
+
+// DBSCANContext is DBSCAN under a cancellation context: the parallel engine
+// checks it at each wave barrier (aborting within one wave at zero hot-path
+// cost), the sequential engine every few dozen range queries. On
+// cancellation it returns ctx.Err() and no result.
+func DBSCANContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	if p.Workers != 0 {
 		return (&cluster.ParallelDBSCAN{
 			Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric,
 			Workers: index.AutoWorkers(p.Workers), BatchSize: p.BatchSize,
-			WaveSize: p.WaveSize,
-		}).Run()
+			WaveSize: p.WaveSize, Index: p.Index,
+		}).RunContext(ctx)
 	}
-	return (&cluster.DBSCAN{Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric}).Run()
+	return (&cluster.DBSCAN{
+		Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric, Index: p.Index,
+	}).RunContext(ctx)
 }
 
 // DBSCANPP runs DBSCAN++ with sample fraction p.SampleFraction.
 func DBSCANPP(points [][]float32, p Params) (*Result, error) {
+	return DBSCANPPContext(context.Background(), points, p)
+}
+
+// DBSCANPPContext is DBSCANPP under a cancellation context.
+func DBSCANPPContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	return (&cluster.DBSCANPP{
 		Points: points, Eps: p.Eps, Tau: p.Tau,
-		P: p.SampleFraction, Seed: p.Seed,
-	}).Run()
+		P: p.SampleFraction, Seed: p.Seed, Index: p.Index,
+	}).RunContext(ctx)
 }
 
 // LAFDBSCAN runs the paper's LAF-enhanced DBSCAN (Algorithm 1).
 func LAFDBSCAN(points [][]float32, p Params) (*Result, error) {
+	return LAFDBSCANContext(context.Background(), points, p)
+}
+
+// LAFDBSCANContext is LAFDBSCAN under a cancellation context.
+func LAFDBSCANContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	if p.Alpha == 0 {
 		p.Alpha = 1
 	}
-	return (&core.LAFDBSCAN{Points: points, Config: core.Config{
+	return (&core.LAFDBSCAN{Points: points, Index: p.Index, Config: core.Config{
 		Eps: p.Eps, Tau: p.Tau, Alpha: p.Alpha,
 		Estimator: p.Estimator, Metric: p.Metric, Seed: p.Seed,
 		DisablePostProcessing: p.DisablePostProcessing,
 		Workers:               p.Workers, BatchSize: p.BatchSize,
 		WaveSize: p.WaveSize,
-	}}).Run()
+	}}).RunContext(ctx)
 }
 
 // LAFDBSCANPP runs LAF-enhanced DBSCAN++ (the paper fixes its Alpha to 1.0;
 // pass Alpha explicitly to override).
 func LAFDBSCANPP(points [][]float32, p Params) (*Result, error) {
+	return LAFDBSCANPPContext(context.Background(), points, p)
+}
+
+// LAFDBSCANPPContext is LAFDBSCANPP under a cancellation context.
+func LAFDBSCANPPContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	if p.Alpha == 0 {
 		p.Alpha = 1
 	}
-	return (&core.LAFDBSCANPP{Points: points, P: p.SampleFraction, Config: core.Config{
+	return (&core.LAFDBSCANPP{Points: points, P: p.SampleFraction, Index: p.Index, Config: core.Config{
 		Eps: p.Eps, Tau: p.Tau, Alpha: p.Alpha,
 		Estimator: p.Estimator, Seed: p.Seed,
 		DisablePostProcessing: p.DisablePostProcessing,
 		Workers:               p.Workers, BatchSize: p.BatchSize,
 		WaveSize: p.WaveSize,
-	}}).Run()
+	}}).RunContext(ctx)
 }
 
 // KNNBlockDBSCAN runs the KNN-BLOCK DBSCAN baseline.
 func KNNBlockDBSCAN(points [][]float32, p Params) (*Result, error) {
+	return KNNBlockDBSCANContext(context.Background(), points, p)
+}
+
+// KNNBlockDBSCANContext is KNNBlockDBSCAN under a cancellation context.
+func KNNBlockDBSCANContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	return (&cluster.KNNBlock{
 		Points: points, Eps: p.Eps, Tau: p.Tau,
 		Branching: p.Branching, LeavesRatio: p.LeavesRatio, Seed: p.Seed,
-	}).Run()
+	}).RunContext(ctx)
 }
 
 // BlockDBSCAN runs the BLOCK-DBSCAN baseline.
 func BlockDBSCAN(points [][]float32, p Params) (*Result, error) {
+	return BlockDBSCANContext(context.Background(), points, p)
+}
+
+// BlockDBSCANContext is BlockDBSCAN under a cancellation context.
+func BlockDBSCANContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	return (&cluster.BlockDBSCAN{
 		Points: points, Eps: p.Eps, Tau: p.Tau,
 		Base: p.Base, RNT: p.RNT, Seed: p.Seed,
-	}).Run()
+	}).RunContext(ctx)
 }
 
 // RhoApproxDBSCAN runs the ρ-approximate DBSCAN baseline.
 func RhoApproxDBSCAN(points [][]float32, p Params) (*Result, error) {
+	return RhoApproxDBSCANContext(context.Background(), points, p)
+}
+
+// RhoApproxDBSCANContext is RhoApproxDBSCAN under a cancellation context.
+func RhoApproxDBSCANContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	return (&cluster.RhoApprox{
 		Points: points, Eps: p.Eps, Tau: p.Tau, Rho: p.Rho,
-	}).Run()
+	}).RunContext(ctx)
 }
 
 // PredictedCoreRatio returns Rc, the fraction of points the estimator
@@ -248,21 +337,29 @@ func Methods() []Method {
 
 // Cluster dispatches to the named method.
 func Cluster(points [][]float32, m Method, p Params) (*Result, error) {
+	return ClusterContext(context.Background(), points, m, p)
+}
+
+// ClusterContext dispatches to the named method under a cancellation
+// context. The parallel engines abort within one neighbor-discovery wave of
+// a cancellation, the sequential engines within a few dozen range queries;
+// on cancellation the error is ctx.Err() and no result is returned.
+func ClusterContext(ctx context.Context, points [][]float32, m Method, p Params) (*Result, error) {
 	switch m {
 	case MethodDBSCAN:
-		return DBSCAN(points, p)
+		return DBSCANContext(ctx, points, p)
 	case MethodDBSCANPP:
-		return DBSCANPP(points, p)
+		return DBSCANPPContext(ctx, points, p)
 	case MethodLAFDBSCAN:
-		return LAFDBSCAN(points, p)
+		return LAFDBSCANContext(ctx, points, p)
 	case MethodLAFDBSCANPP:
-		return LAFDBSCANPP(points, p)
+		return LAFDBSCANPPContext(ctx, points, p)
 	case MethodKNNBlock:
-		return KNNBlockDBSCAN(points, p)
+		return KNNBlockDBSCANContext(ctx, points, p)
 	case MethodBlockDBSCAN:
-		return BlockDBSCAN(points, p)
+		return BlockDBSCANContext(ctx, points, p)
 	case MethodRhoApprox:
-		return RhoApproxDBSCAN(points, p)
+		return RhoApproxDBSCANContext(ctx, points, p)
 	default:
 		return nil, fmt.Errorf("lafdbscan: unknown method %q", m)
 	}

@@ -155,7 +155,10 @@ func TestFacadeEstimators(t *testing.T) {
 
 func TestTrainRMIEstimatorFacade(t *testing.T) {
 	d := testData()
-	train, test := Split(d, 0.8, 7)
+	train, test, err := Split(d, 0.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if train.Len()+test.Len() != d.Len() {
 		t.Fatal("split broken")
 	}

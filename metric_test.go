@@ -41,7 +41,10 @@ func TestLAFDBSCANEuclideanMetricEndToEnd(t *testing.T) {
 		N: 500, Dim: 32, Clusters: 6, MinSpread: 0.2, MaxSpread: 0.4,
 		NoiseFrac: 0.25, Seed: 92,
 	})
-	train, test := Split(d, 0.8, 92)
+	train, test, err := Split(d, 0.8, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
 	est, err := TrainRMIEstimator(train.Vectors, EstimatorConfig{
 		TargetSize: test.Len(), Metric: MetricEuclidean,
 		Hidden: []int{24, 12}, Epochs: 20, MaxQueries: 200, Seed: 1,

@@ -1,0 +1,65 @@
+package lafdbscan
+
+import "fmt"
+
+// Validate checks that every set field of p lies in its documented domain.
+// All clustering entry points call it before running, so a bad parameter
+// fails fast with a descriptive error instead of producing a degenerate
+// clustering; the CLI tools and the lafserve HTTP server reuse it for their
+// usage errors and 400 responses, keeping the accepted domain identical
+// across every way into the library.
+//
+// Zero values of optional fields mean "use the default" and always pass:
+// Alpha 0 selects the neutral 1.0, SampleFraction matters only to the ++
+// variants (which additionally require it to be positive), Branching /
+// LeavesRatio / Base / RNT / Rho fall back to the paper's settings, and
+// Workers 0 selects the sequential engine.
+func (p Params) Validate() error {
+	// Both supported metrics are bounded by 2 on unit vectors (cosine
+	// distance by definition, Euclidean via Equation 1), so thresholds
+	// beyond 2 mean every point neighbors every other — a parameterization
+	// mistake, not a clustering.
+	if p.Eps <= 0 || p.Eps > 2 {
+		return fmt.Errorf("lafdbscan: eps %v outside (0, 2]", p.Eps)
+	}
+	if p.Tau < 1 {
+		return fmt.Errorf("lafdbscan: tau %d < 1", p.Tau)
+	}
+	if p.Alpha < 0 {
+		return fmt.Errorf("lafdbscan: alpha %v negative (0 selects the neutral 1.0)", p.Alpha)
+	}
+	if p.SampleFraction < 0 || p.SampleFraction > 1 {
+		return fmt.Errorf("lafdbscan: sample fraction %v outside [0, 1]", p.SampleFraction)
+	}
+	if p.Branching != 0 && p.Branching < 2 {
+		return fmt.Errorf("lafdbscan: branching factor %d < 2 (0 selects the default)", p.Branching)
+	}
+	if p.LeavesRatio < 0 || p.LeavesRatio > 1 {
+		return fmt.Errorf("lafdbscan: leaves ratio %v outside [0, 1]", p.LeavesRatio)
+	}
+	if p.Base != 0 && p.Base <= 1 {
+		return fmt.Errorf("lafdbscan: cover tree base %v must be > 1 (0 selects the default)", p.Base)
+	}
+	if p.RNT < 0 {
+		return fmt.Errorf("lafdbscan: RNT %d negative (0 selects the default)", p.RNT)
+	}
+	if p.Rho < 0 {
+		return fmt.Errorf("lafdbscan: rho %v negative", p.Rho)
+	}
+	if p.Metric != MetricCosine && p.Metric != MetricEuclidean {
+		return fmt.Errorf("lafdbscan: unknown metric %v", p.Metric)
+	}
+	// Below zero only -1 has a defined meaning for Workers (all cores) and
+	// WaveSize (buffer everything); BatchSize is a chunk size with no
+	// negative interpretation.
+	if p.Workers < WorkersAuto {
+		return fmt.Errorf("lafdbscan: workers %d < -1 (-1 = all cores)", p.Workers)
+	}
+	if p.BatchSize < 0 {
+		return fmt.Errorf("lafdbscan: batch size %d negative (0 = auto)", p.BatchSize)
+	}
+	if p.WaveSize < -1 {
+		return fmt.Errorf("lafdbscan: wave size %d < -1 (-1 = buffer everything)", p.WaveSize)
+	}
+	return nil
+}
