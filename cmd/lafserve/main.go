@@ -1,16 +1,18 @@
 // Command lafserve runs the clustering-as-a-service HTTP server: a dataset
-// registry, an estimator cache and an asynchronous, cancellable job engine
-// over every clustering method of the library.
+// registry, an estimator cache, an asynchronous, cancellable job engine
+// over every clustering method of the library, and a model store serving
+// fitted clusterings for out-of-sample prediction.
 //
 // Usage:
 //
-//	lafserve [-addr :8080] [-job-workers N] [-queue 64] [-preload name=path ...]
+//	lafserve [-addr :8080] [-job-workers N] [-queue 64] [-models 256] [-preload name=path ...]
 //
-// The README's "Serving" section walks through the full API with curl; in
-// short: POST /v1/datasets registers data once, POST /v1/estimators trains
-// (and caches) an RMI estimator, POST /v1/jobs submits a clustering job
-// whose status, progress and labels are polled under /v1/jobs/{id}, and
-// DELETE /v1/jobs/{id} cancels it mid-run.
+// The README's "Serving" and "Models & Prediction" sections walk through
+// the full API with curl; in short: POST /v1/datasets registers data once,
+// POST /v1/estimators trains (and caches) an RMI estimator, POST /v1/jobs
+// submits a clustering job whose status, progress and labels are polled
+// under /v1/jobs/{id} (DELETE cancels it mid-run), and /v1/models fits,
+// stores, persists and serves predictions from reusable clustering models.
 package main
 
 import (
@@ -48,19 +50,22 @@ func main() {
 	log.SetPrefix("lafserve: ")
 	var pre preloads
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("job-workers", 0, "concurrent clustering jobs (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "queued-job capacity before submissions get 429")
-		maxJobs = flag.Int("max-jobs", 0, "retained jobs incl. finished (0 = default 4096)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("job-workers", 0, "concurrent clustering jobs (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "queued-job capacity before submissions get 429")
+		maxJobs   = flag.Int("max-jobs", 0, "retained jobs incl. finished (0 = default 4096)")
+		maxModels = flag.Int("models", 0, "stored-model capacity; fits/loads get 409 beyond it (0 = default 256)")
 	)
 	flag.Var(&pre, "preload", "dataset to register at startup as name=path (repeatable)")
 	flag.Parse()
-	if *workers < 0 || *queue < 1 || *maxJobs < 0 {
+	if *workers < 0 || *queue < 1 || *maxJobs < 0 || *maxModels < 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	srv := serve.NewServer(serve.Options{Workers: *workers, QueueDepth: *queue, MaxJobs: *maxJobs})
+	srv := serve.NewServer(serve.Options{
+		Workers: *workers, QueueDepth: *queue, MaxJobs: *maxJobs, MaxModels: *maxModels,
+	})
 	defer srv.Close()
 	for _, d := range pre {
 		info, err := srv.Registry().RegisterFile(d.name, d.path)

@@ -3,6 +3,7 @@ package lafdbscan
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -125,19 +126,14 @@ func TrainRMIEstimator(train [][]float32, cfg EstimatorConfig) (Estimator, error
 // TrainRMIEstimator) to a file so later runs can skip training. Only RMI
 // estimators are serializable.
 func SaveEstimator(est Estimator, path string) error {
-	re, ok := est.(*cardest.RMIEstimator)
-	if !ok {
-		return fmt.Errorf("lafdbscan: estimator %q is not serializable", est.Name())
-	}
-	var model bytes.Buffer
-	if err := re.Model.Save(&model); err != nil {
+	payload, err := marshalEstimator(est)
+	if err != nil {
 		return err
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	payload := estimatorPayload{Scale: re.Scale, Model: model.Bytes()}
 	if err := gob.NewEncoder(f).Encode(&payload); err != nil {
 		f.Close()
 		return err
@@ -145,12 +141,40 @@ func SaveEstimator(est Estimator, path string) error {
 	return f.Close()
 }
 
-// estimatorPayload is the single-message wire format of SaveEstimator; the
-// model is nested as opaque bytes so the scale and the network weights
-// travel through one gob stream.
+// estimatorPayload is the single-message wire format of SaveEstimator (and
+// the estimator block of Model.Save); the model is nested as opaque bytes so
+// the scale and the network weights travel through one gob stream.
 type estimatorPayload struct {
 	Scale float64
 	Model []byte
+}
+
+// errEstimatorNotSerializable marks estimator kinds with no wire format
+// (the exact oracle, sampling, histogram, constant). Model.Save drops those
+// and persists everything else or fails; SaveEstimator reports either way.
+var errEstimatorNotSerializable = errors.New("estimator is not serializable")
+
+// marshalEstimator serializes an RMI estimator through internal/rmi's wire
+// format; any other estimator kind returns errEstimatorNotSerializable.
+func marshalEstimator(est Estimator) (estimatorPayload, error) {
+	re, ok := est.(*cardest.RMIEstimator)
+	if !ok {
+		return estimatorPayload{}, fmt.Errorf("lafdbscan: estimator %q: %w", est.Name(), errEstimatorNotSerializable)
+	}
+	var model bytes.Buffer
+	if err := re.Model.Save(&model); err != nil {
+		return estimatorPayload{}, err
+	}
+	return estimatorPayload{Scale: re.Scale, Model: model.Bytes()}, nil
+}
+
+// unmarshalEstimator is the inverse of marshalEstimator.
+func unmarshalEstimator(payload estimatorPayload) (Estimator, error) {
+	model, err := rmi.Load(bytes.NewReader(payload.Model))
+	if err != nil {
+		return nil, err
+	}
+	return cardest.NewRMIEstimator(model, payload.Scale), nil
 }
 
 // LoadEstimator reads an estimator written by SaveEstimator.
@@ -164,11 +188,7 @@ func LoadEstimator(path string) (Estimator, error) {
 	if err := gob.NewDecoder(f).Decode(&payload); err != nil {
 		return nil, fmt.Errorf("lafdbscan: decoding estimator: %w", err)
 	}
-	model, err := rmi.Load(bytes.NewReader(payload.Model))
-	if err != nil {
-		return nil, err
-	}
-	return cardest.NewRMIEstimator(model, payload.Scale), nil
+	return unmarshalEstimator(payload)
 }
 
 // ExactEstimator returns a cardinality oracle that executes real range

@@ -1,10 +1,57 @@
 package lafdbscan_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 
 	"lafdbscan"
 )
+
+// Fit/Predict is the model API: one clustering pays for an index, a core
+// set and (for LAF methods) a trained estimator, and every later batch of
+// vectors is assigned to the existing clusters in one range query per
+// vector. Save/LoadModel make the whole thing survive process restarts.
+func ExampleFit() {
+	data := lafdbscan.MSLike(400, 1)
+	train, incoming, err := lafdbscan.Split(data, 0.8, 42)
+	if err != nil {
+		panic(err)
+	}
+
+	ctx := context.Background()
+	model, err := lafdbscan.Fit(ctx, train.Vectors, lafdbscan.MethodDBSCAN,
+		lafdbscan.WithEps(0.55), lafdbscan.WithTau(5))
+	if err != nil {
+		panic(err)
+	}
+
+	labels, err := model.Predict(ctx, incoming.Vectors)
+	if err != nil {
+		panic(err)
+	}
+
+	// Round-trip through the versioned binary format: the loaded model
+	// predicts identically to the fitted one.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		panic(err)
+	}
+	loaded, err := lafdbscan.LoadModel(&buf)
+	if err != nil {
+		panic(err)
+	}
+	again, err := loaded.Predict(ctx, incoming.Vectors)
+	if err != nil {
+		panic(err)
+	}
+	same := true
+	for i := range labels {
+		same = same && labels[i] == again[i]
+	}
+	fmt.Println(len(labels) == incoming.Len(), same)
+	// Output: true true
+}
 
 // The full pipeline: generate data, train the learned estimator on the 80%
 // split, cluster the 20% split with LAF-DBSCAN. The training budget here is

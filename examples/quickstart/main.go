@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -61,6 +62,27 @@ func main() {
 		log.Fatal(err)
 	}
 	report("LAF-DBSCAN++", lafpp, truth)
+
+	// 4. Fit once, predict forever: the model API retains the fitted
+	//    artifacts (cores, forest, index, estimator), so assigning new
+	//    points to the existing clusters costs one range query each
+	//    instead of a full re-clustering.
+	model, err := lafdbscan.Fit(context.Background(), test.Vectors, lafdbscan.MethodLAFDBSCAN,
+		lafdbscan.WithEps(0.55), lafdbscan.WithTau(5), lafdbscan.WithAlpha(1.5),
+		lafdbscan.WithEstimator(est))
+	if err != nil {
+		log.Fatal(err)
+	}
+	incoming := train.Vectors[:200]
+	start = time.Now()
+	labels, err := model.Predict(context.Background(), incoming)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := lafdbscan.Stats(labels)
+	fmt.Printf("\nmodel: %d clusters, %d cores; predicted %d incoming points in %v (%d assigned, %.2f noise)\n",
+		model.NumClusters(), model.NumCores(), len(incoming),
+		time.Since(start).Round(time.Millisecond), len(incoming)-s.NumNoise, s.NoiseRatio)
 }
 
 func report(name string, res, truth *lafdbscan.Result) {

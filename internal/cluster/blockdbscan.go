@@ -202,7 +202,21 @@ func (b *BlockDBSCAN) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 
+	// Every block member is certified core (an ε/2-ball of >= Tau points
+	// puts all members pairwise within ε), plus the exactly-classified
+	// outer cores.
+	coreMask := make([]bool, n)
+	for i := range coreMask {
+		coreMask[i] = blockOf[i] >= 0
+	}
+	for _, p := range outer {
+		if outerCore[p] {
+			coreMask[p] = true
+		}
+	}
 	res.Labels = labels
+	res.Core = coreMask
+	res.Forest = DeriveForest(labels, coreMask)
 	res.Elapsed = time.Since(start)
 	res.finalize()
 	return res, nil

@@ -59,6 +59,44 @@ type Result struct {
 	SkippedQueries int
 	// PostMerges counts cluster merges applied by LAF post-processing.
 	PostMerges int
+	// Core[i] reports whether the method certified point i as a core point.
+	// For the exact methods this is the true density criterion
+	// |N(i)| >= Tau; for the approximate and sampled methods it is the
+	// method's own core notion (sampled cores, block members, truncated-KNN
+	// cores, LAF's queried-and-core points). The fitted-model API builds
+	// out-of-sample prediction on it.
+	Core []bool
+	// Forest[i] is the cluster forest in canonical form: the minimum-index
+	// core point sharing i's final cluster for core i, and -1 for non-core
+	// points. It is derived from (Labels, Core) after all label rewriting
+	// (LAF post-processing included), so it is identical across the
+	// sequential, parallel and wave engines and serializes byte-for-byte.
+	Forest []int32
+}
+
+// DeriveForest computes the canonical cluster forest of a finished labeling:
+// every core point maps to the minimum-index core point of its cluster,
+// every non-core point to -1. Cluster ids can be arbitrary (only equality is
+// used), so the forest is invariant under relabeling — the property the
+// engine-equality and persistence round-trip tests pin.
+func DeriveForest(labels []int, core []bool) []int32 {
+	forest := make([]int32, len(labels))
+	rootOf := make(map[int]int32)
+	for i := range forest {
+		forest[i] = -1
+	}
+	for i, isCore := range core {
+		if !isCore || labels[i] == Noise {
+			continue
+		}
+		root, ok := rootOf[labels[i]]
+		if !ok {
+			root = int32(i) // first core in index order is the minimum
+			rootOf[labels[i]] = root
+		}
+		forest[i] = root
+	}
+	return forest
 }
 
 // Stats recomputes NumClusters from Labels; algorithms call it once before

@@ -64,6 +64,7 @@ func (d *DBSCAN) RunContext(ctx context.Context) (*Result, error) {
 		labels[i] = Undefined
 	}
 	c := 0
+	core := make([]bool, n)
 	inSeed := make([]bool, n)
 	for p := 0; p < n; p++ {
 		if labels[p] != Undefined {
@@ -78,6 +79,7 @@ func (d *DBSCAN) RunContext(ctx context.Context) (*Result, error) {
 			labels[p] = Noise
 			continue
 		}
+		core[p] = true
 		c++
 		labels[p] = c
 		// Seed set S := N \ {P}, expanded breadth-first. inSeed tracks set
@@ -105,6 +107,7 @@ func (d *DBSCAN) RunContext(ctx context.Context) (*Result, error) {
 			qn := idx.RangeSearch(d.Points[q], d.Eps)
 			res.RangeQueries++
 			if len(qn) >= d.Tau {
+				core[q] = true
 				for _, r := range qn {
 					if !inSeed[r] {
 						seeds = append(seeds, r)
@@ -114,6 +117,8 @@ func (d *DBSCAN) RunContext(ctx context.Context) (*Result, error) {
 			}
 		}
 	}
+	res.Core = core
+	res.Forest = DeriveForest(labels, core)
 	res.Elapsed = time.Since(start)
 	res.finalize()
 	return res, nil

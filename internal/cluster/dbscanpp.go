@@ -75,9 +75,20 @@ func (d *DBSCANPP) RunContext(ctx context.Context) (*Result, error) {
 
 	labels := ClusterCoresAndAssign(d.Points, d.Eps, cores, coreNeighbors)
 	res.Labels = labels
+	res.Core = CoreMask(n, cores)
+	res.Forest = DeriveForest(labels, res.Core)
 	res.Elapsed = time.Since(start)
 	res.finalize()
 	return res, nil
+}
+
+// CoreMask expands a core id list into the dense mask Result.Core carries.
+func CoreMask(n int, cores []int) []bool {
+	mask := make([]bool, n)
+	for _, c := range cores {
+		mask[c] = true
+	}
+	return mask
 }
 
 // ClusterCoresAndAssign is the shared tail of DBSCAN++ and LAF-DBSCAN++:

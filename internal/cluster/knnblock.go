@@ -123,6 +123,8 @@ func (k *KNNBlock) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	res.Labels = labels
+	res.Core = isCore
+	res.Forest = DeriveForest(labels, isCore)
 	res.Elapsed = time.Since(start)
 	res.finalize()
 	return res, nil

@@ -89,6 +89,8 @@ func (d *ParallelDBSCAN) RunContext(ctx context.Context) (*Result, error) {
 
 	// Phase 2: sequential label resolution.
 	res.Labels = m.Resolve(nil)
+	res.Core = m.Core()
+	res.Forest = DeriveForest(res.Labels, res.Core)
 	res.Elapsed = time.Since(start)
 	res.finalize()
 	return res, nil
@@ -133,6 +135,8 @@ func (d *ParallelDBSCAN) runBuffered(ctx context.Context, idx index.RangeSearche
 
 	// Phase 3: sequential label resolution.
 	res.Labels = ResolveCoreLabels(neighbors, core, uf)
+	res.Core = core
+	res.Forest = DeriveForest(res.Labels, core)
 	res.Elapsed = time.Since(start)
 	res.finalize()
 	return res, nil

@@ -54,6 +54,7 @@ func (r *RhoApprox) RunContext(ctx context.Context) (*Result, error) {
 		labels[i] = Undefined
 	}
 	c := 0
+	core := make([]bool, n)
 	inSeed := make([]bool, n)
 	for p := 0; p < n; p++ {
 		if labels[p] != Undefined {
@@ -68,6 +69,7 @@ func (r *RhoApprox) RunContext(ctx context.Context) (*Result, error) {
 			labels[p] = Noise
 			continue
 		}
+		core[p] = true
 		c++
 		labels[p] = c
 		clear(inSeed)
@@ -93,6 +95,7 @@ func (r *RhoApprox) RunContext(ctx context.Context) (*Result, error) {
 			qn := grid.ApproxRangeSearch(r.Points[q], epsEuc)
 			res.RangeQueries++
 			if len(qn) >= r.Tau {
+				core[q] = true
 				for _, s := range qn {
 					if !inSeed[s] {
 						seeds = append(seeds, s)
@@ -103,6 +106,8 @@ func (r *RhoApprox) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	res.Labels = labels
+	res.Core = core
+	res.Forest = DeriveForest(labels, core)
 	res.Elapsed = time.Since(start)
 	res.finalize()
 	return res, nil

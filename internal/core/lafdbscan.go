@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"time"
 
 	"lafdbscan/internal/cluster"
@@ -55,6 +56,7 @@ func (l *LAFDBSCAN) RunContext(ctx context.Context) (*cluster.Result, error) {
 	}
 	e := make(PartialNeighbors)
 	c := 0
+	core := make([]bool, n)
 	inSeed := make([]bool, n)
 	for p := 0; p < n; p++ {
 		if labels[p] != cluster.Undefined {
@@ -78,6 +80,7 @@ func (l *LAFDBSCAN) RunContext(ctx context.Context) (*cluster.Result, error) {
 			labels[p] = cluster.Noise
 			continue
 		}
+		core[p] = true
 		c++
 		labels[p] = c
 		clear(inSeed)
@@ -106,6 +109,7 @@ func (l *LAFDBSCAN) RunContext(ctx context.Context) (*cluster.Result, error) {
 				res.RangeQueries++
 				e.Update(q, qn)
 				if len(qn) >= cfg.Tau {
+					core[q] = true
 					for _, r := range qn {
 						if !inSeed[r] {
 							seeds = append(seeds, r)
@@ -123,6 +127,7 @@ func (l *LAFDBSCAN) RunContext(ctx context.Context) (*cluster.Result, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		res.PostMerges = PostProcess(labels, e, cfg.Tau, rng)
 	}
+	res.Core = core
 	res.Elapsed = time.Since(start)
 	finalize(res)
 	return res, nil
@@ -130,21 +135,37 @@ func (l *LAFDBSCAN) RunContext(ctx context.Context) (*cluster.Result, error) {
 
 // finalize canonicalizes cluster ids to 1..k and recounts clusters.
 // Post-processing leaves union-find roots as ids; renumbering keeps reports
-// tidy and metric computation unaffected.
+// tidy and metric computation unaffected. Ids are remapped in ascending
+// order of their original value — the identity when no post-processing
+// merge rewrote labels — so the relative order the traversal assigned
+// clusters in survives renumbering. Out-of-sample prediction relies on that
+// monotonicity: a contested border point belongs to its lowest-numbered
+// adjacent cluster, before and after finalize. The canonical cluster forest
+// is derived here too, after the last label rewrite.
 func finalize(res *cluster.Result) {
-	remap := make(map[int]int)
-	next := 0
-	for i, l := range res.Labels {
+	ids := make([]int, 0, 16)
+	seen := make(map[int]struct{})
+	for _, l := range res.Labels {
 		if l == cluster.Noise {
 			continue
 		}
-		id, ok := remap[l]
-		if !ok {
-			next++
-			id = next
-			remap[l] = id
+		if _, ok := seen[l]; !ok {
+			seen[l] = struct{}{}
+			ids = append(ids, l)
 		}
-		res.Labels[i] = id
 	}
-	res.NumClusters = next
+	sort.Ints(ids)
+	remap := make(map[int]int, len(ids))
+	for k, id := range ids {
+		remap[id] = k + 1
+	}
+	for i, l := range res.Labels {
+		if l != cluster.Noise {
+			res.Labels[i] = remap[l]
+		}
+	}
+	res.NumClusters = len(ids)
+	if res.Core != nil {
+		res.Forest = cluster.DeriveForest(res.Labels, res.Core)
+	}
 }

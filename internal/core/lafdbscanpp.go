@@ -87,6 +87,7 @@ func (l *LAFDBSCANPP) RunContext(ctx context.Context) (*cluster.Result, error) {
 	if !cfg.DisablePostProcessing {
 		res.PostMerges = PostProcess(res.Labels, e, cfg.Tau, rng)
 	}
+	res.Core = cluster.CoreMask(n, cores)
 	res.Elapsed = time.Since(start)
 	finalize(res)
 	return res, nil

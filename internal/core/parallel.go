@@ -143,6 +143,7 @@ func (l *LAFDBSCAN) runParallel(ctx context.Context, idx index.RangeSearcher) (*
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		res.PostMerges = PostProcess(res.Labels, e, cfg.Tau, rng)
 	}
+	res.Core = m.Core()
 	res.Elapsed = time.Since(start)
 	finalize(res)
 	return res, nil
@@ -219,6 +220,7 @@ func (l *LAFDBSCAN) runParallelBuffered(ctx context.Context, idx index.RangeSear
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		res.PostMerges = PostProcess(res.Labels, e, cfg.Tau, rng)
 	}
+	res.Core = core
 	res.Elapsed = time.Since(start)
 	finalize(res)
 	return res, nil
@@ -291,6 +293,7 @@ func (l *LAFDBSCANPP) runParallel(ctx context.Context, idx index.RangeSearcher) 
 	if !cfg.DisablePostProcessing {
 		res.PostMerges = PostProcess(res.Labels, e, cfg.Tau, rng)
 	}
+	res.Core = cluster.CoreMask(n, cores)
 	res.Elapsed = time.Since(start)
 	finalize(res)
 	return res, nil
@@ -352,6 +355,7 @@ func (l *LAFDBSCANPP) runParallelBuffered(ctx context.Context, idx index.RangeSe
 	if !cfg.DisablePostProcessing {
 		res.PostMerges = PostProcess(res.Labels, e, cfg.Tau, rng)
 	}
+	res.Core = cluster.CoreMask(n, cores)
 	res.Elapsed = time.Since(start)
 	finalize(res)
 	return res, nil

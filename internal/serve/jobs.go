@@ -144,6 +144,10 @@ type Options struct {
 	// result fetches) are retained; <= 0 selects 4096. When exceeded, the
 	// oldest finished jobs are evicted.
 	MaxJobs int
+	// MaxModels bounds the model store (each stored model retains its
+	// training vectors); <= 0 selects 256. At capacity, fits and loads are
+	// rejected until a model is deleted.
+	MaxModels int
 	// Run substitutes the clustering call (default
 	// lafdbscan.ClusterContext). Tests use controllable fakes to pin the
 	// job lifecycle without clustering work.
@@ -300,13 +304,20 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	return job.status(), nil
 }
 
-// validate rejects a spec the engine could not run: unknown method,
+// validate rejects a spec the engine could not run; the model-fit endpoint
+// shares the same rules through validateJobSpec, so a configuration is
+// accepted as an async job exactly when it is accepted as a model fit.
+func (e *Engine) validate(spec *JobSpec) error {
+	return validateJobSpec(e.reg, spec)
+}
+
+// validateJobSpec rejects a spec the server could not run: unknown method,
 // unregistered dataset, out-of-domain parameters, or a LAF method without
 // an estimator spec. Sampling methods additionally need a positive sample
 // fraction — checked here so the mistake costs a 400, not a failed job.
-func (e *Engine) validate(spec *JobSpec) error {
+func validateJobSpec(reg *Registry, spec *JobSpec) error {
 	known := false
-	for _, m := range append(lafdbscan.Methods(), lafdbscan.MethodRhoApprox) {
+	for _, m := range lafdbscan.AllMethods() {
 		if spec.Method == m {
 			known = true
 			break
@@ -315,7 +326,7 @@ func (e *Engine) validate(spec *JobSpec) error {
 	if !known {
 		return fmt.Errorf("serve: unknown method %q", spec.Method)
 	}
-	if _, err := e.reg.Get(spec.Dataset); err != nil {
+	if _, err := reg.Get(spec.Dataset); err != nil {
 		return err
 	}
 	// Estimator and Index are resolved by the engine at run time; clear
@@ -330,7 +341,7 @@ func (e *Engine) validate(spec *JobSpec) error {
 		return fmt.Errorf("serve: method %q requires an estimator spec", spec.Method)
 	}
 	if spec.Estimator != nil && spec.Estimator.TrainDataset != "" {
-		if _, err := e.reg.Get(spec.Estimator.TrainDataset); err != nil {
+		if _, err := reg.Get(spec.Estimator.TrainDataset); err != nil {
 			return err
 		}
 	}
@@ -562,26 +573,11 @@ func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, erro
 	if idx, ierr := e.reg.Index(spec.Dataset, p.Metric); ierr == nil {
 		p.Index = idx
 	}
-	if spec.Estimator != nil {
-		trainName := spec.Estimator.TrainDataset
-		trainVecs := ds.Vectors
-		if trainName == "" {
-			trainName = spec.Dataset
-		} else {
-			tds, terr := e.reg.Get(trainName)
-			if terr != nil {
-				return nil, terr
-			}
-			trainVecs = tds.Vectors
-		}
-		cfg := spec.Estimator.Config
-		if cfg.TargetSize == 0 {
-			cfg.TargetSize = ds.Len()
-		}
-		est, cached, _, eerr := e.est.Get(ctx, trainName, trainVecs, cfg)
-		if eerr != nil {
-			return nil, eerr
-		}
+	est, cached, err := resolveEstimator(ctx, e.reg, e.est, spec)
+	if err != nil {
+		return nil, err
+	}
+	if est != nil {
 		job.mu.Lock()
 		job.estimatorCached = cached
 		job.mu.Unlock()
@@ -589,4 +585,37 @@ func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, erro
 	}
 	ctx = index.WithWaveProgress(ctx, func(q int) { job.queriesDone.Add(int64(q)) })
 	return e.run(ctx, ds.Vectors, spec.Method, p)
+}
+
+// resolveEstimator resolves a spec's estimator through the shared cache:
+// trained on the job's dataset (or the spec's TrainDataset), targeting the
+// job dataset's size unless overridden. The job engine and the model-fit
+// endpoint share it, so both pay for each (dataset, config) training at
+// most once between them. cached reports whether a previous or concurrent
+// request already paid. A nil spec.Estimator resolves to (nil, false, nil).
+func resolveEstimator(ctx context.Context, reg *Registry, cache *EstimatorCache, spec JobSpec) (est lafdbscan.Estimator, cached bool, err error) {
+	if spec.Estimator == nil {
+		return nil, false, nil
+	}
+	ds, err := reg.Get(spec.Dataset)
+	if err != nil {
+		return nil, false, err
+	}
+	trainName := spec.Estimator.TrainDataset
+	trainVecs := ds.Vectors
+	if trainName == "" {
+		trainName = spec.Dataset
+	} else {
+		tds, terr := reg.Get(trainName)
+		if terr != nil {
+			return nil, false, terr
+		}
+		trainVecs = tds.Vectors
+	}
+	cfg := spec.Estimator.Config
+	if cfg.TargetSize == 0 {
+		cfg.TargetSize = ds.Len()
+	}
+	est, cached, _, err = cache.Get(ctx, trainName, trainVecs, cfg)
+	return est, cached, err
 }

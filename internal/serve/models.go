@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lafdbscan"
+)
+
+// ErrUnknownModel reports a reference to a model id the store does not hold
+// (never fitted, loaded, or already deleted); the HTTP layer maps it to 404.
+var ErrUnknownModel = errors.New("unknown model")
+
+// ErrModelStoreFull reports that the store is at capacity. Unlike the job
+// queue's ErrQueueFull this is not retryable backpressure — models are
+// explicitly managed resources, and the remedy is DELETE, not waiting — so
+// the HTTP layer maps it to 409.
+var ErrModelStoreFull = errors.New("model store full, delete models to make room")
+
+// ModelInfo describes a stored model, shaped for JSON.
+type ModelInfo struct {
+	ID string `json:"id"`
+	// Dataset names the registered dataset the model was fitted on; empty
+	// for models uploaded through /v1/models/load (they are self-contained).
+	Dataset      string `json:"dataset,omitempty"`
+	Method       string `json:"method"`
+	Points       int    `json:"points"`
+	Dims         int    `json:"dims"`
+	Clusters     int    `json:"clusters"`
+	Cores        int    `json:"cores"`
+	HasEstimator bool   `json:"has_estimator"`
+	// Source records how the model entered the store ("fit" or "loaded").
+	Source  string    `json:"source"`
+	Created time.Time `json:"created"`
+}
+
+// ModelStoreStats is the store's /stats view.
+type ModelStoreStats struct {
+	Models      int   `json:"models"`
+	Capacity    int   `json:"capacity"`
+	Fitted      int64 `json:"fitted"`
+	Loaded      int64 `json:"loaded"`
+	Deleted     int64 `json:"deleted"`
+	Predictions int64 `json:"predictions"`
+}
+
+// ModelStore holds fitted and uploaded clustering models by id. Models are
+// immutable, so concurrent predictions share an entry without copying; the
+// store only guards the id map. A fixed capacity bounds the memory held in
+// training vectors (each model retains its points).
+type ModelStore struct {
+	mu      sync.Mutex
+	entries map[string]*modelEntry
+	order   []string
+	seq     int64
+	cap     int
+
+	fitted      atomic.Int64
+	loaded      atomic.Int64
+	deleted     atomic.Int64
+	predictions atomic.Int64
+}
+
+type modelEntry struct {
+	model *lafdbscan.Model
+	info  ModelInfo
+}
+
+// defaultModelCap bounds the store when Options does not size it.
+const defaultModelCap = 256
+
+// NewModelStore returns an empty store holding at most capacity models
+// (<= 0 selects the default).
+func NewModelStore(capacity int) *ModelStore {
+	if capacity <= 0 {
+		capacity = defaultModelCap
+	}
+	return &ModelStore{entries: make(map[string]*modelEntry), cap: capacity}
+}
+
+// Add stores a model and returns its assigned info. source is "fit" or
+// "loaded"; dataset may be empty for loaded models.
+func (s *ModelStore) Add(model *lafdbscan.Model, dataset, source string) (ModelInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) >= s.cap {
+		return ModelInfo{}, fmt.Errorf("serve: %w (capacity %d)", ErrModelStoreFull, s.cap)
+	}
+	s.seq++
+	info := ModelInfo{
+		ID:           fmt.Sprintf("m-%06d", s.seq),
+		Dataset:      dataset,
+		Method:       string(model.Method()),
+		Points:       model.Len(),
+		Dims:         model.Dim(),
+		Clusters:     model.NumClusters(),
+		Cores:        model.NumCores(),
+		HasEstimator: model.HasEstimator(),
+		Source:       source,
+		Created:      time.Now(),
+	}
+	s.entries[info.ID] = &modelEntry{model: model, info: info}
+	s.order = append(s.order, info.ID)
+	switch source {
+	case "loaded":
+		s.loaded.Add(1)
+	default:
+		s.fitted.Add(1)
+	}
+	return info, nil
+}
+
+// Get returns the model and info stored under id.
+func (s *ModelStore) Get(id string) (*lafdbscan.Model, ModelInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, ModelInfo{}, fmt.Errorf("serve: model %s: %w", id, ErrUnknownModel)
+	}
+	return e.model, e.info, nil
+}
+
+// Delete removes the model stored under id.
+func (s *ModelStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; !ok {
+		return fmt.Errorf("serve: model %s: %w", id, ErrUnknownModel)
+	}
+	delete(s.entries, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.deleted.Add(1)
+	return nil
+}
+
+// List returns every stored model's info in creation order.
+func (s *ModelStore) List() []ModelInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ModelInfo, 0, len(s.entries))
+	for _, id := range s.order {
+		out = append(out, s.entries[id].info)
+	}
+	return out
+}
+
+// Full reports whether the store is at capacity — the cheap pre-check the
+// fit endpoint runs before paying for a clustering, so a full store costs a
+// 409, not a wasted fit. Add remains authoritative under the same lock.
+func (s *ModelStore) Full() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries) >= s.cap
+}
+
+// CountPrediction bumps the prediction counter (the HTTP layer calls it per
+// successful predict request).
+func (s *ModelStore) CountPrediction() { s.predictions.Add(1) }
+
+// Stats returns the store counters.
+func (s *ModelStore) Stats() ModelStoreStats {
+	s.mu.Lock()
+	models := len(s.entries)
+	s.mu.Unlock()
+	return ModelStoreStats{
+		Models:      models,
+		Capacity:    s.cap,
+		Fitted:      s.fitted.Load(),
+		Loaded:      s.loaded.Load(),
+		Deleted:     s.deleted.Load(),
+		Predictions: s.predictions.Load(),
+	}
+}

@@ -22,28 +22,44 @@ import (
 //	GET    /v1/jobs/{id}         poll status/progress
 //	GET    /v1/jobs/{id}/result  fetch a finished job's labels and metrics
 //	DELETE /v1/jobs/{id}         cancel (queued: immediate; running: within one wave)
-//	GET    /v1/stats             registry / cache / engine counters
+//	POST   /v1/models            fit a model synchronously (201; canceled by disconnect)
+//	GET    /v1/models            list stored models
+//	GET    /v1/models/{id}       one model's info
+//	DELETE /v1/models/{id}       delete a model
+//	GET    /v1/models/{id}/save  download the model's binary serialization
+//	POST   /v1/models/load       upload a serialized model (binary body)
+//	POST   /v1/models/{id}/predict  assign vectors to the model's clusters
+//	GET    /v1/stats             registry / cache / engine / model counters
 //	GET    /v1/healthz           liveness
 type Server struct {
-	reg   *Registry
-	est   *EstimatorCache
-	eng   *Engine
-	mux   *http.ServeMux
-	start time.Time
+	reg    *Registry
+	est    *EstimatorCache
+	eng    *Engine
+	models *ModelStore
+	// fitSlots caps concurrent synchronous model fits at the job engine's
+	// worker count, so a burst of POST /v1/models cannot oversubscribe the
+	// machine past the concurrency budget the bounded engine enforces for
+	// jobs; excess fits get 429, the same backpressure contract as Submit.
+	fitSlots chan struct{}
+	mux      *http.ServeMux
+	start    time.Time
 }
 
-// NewServer wires a fresh registry, estimator cache and job engine into an
-// HTTP handler. Close the server (not just the listener) to stop the
-// engine's workers.
+// NewServer wires a fresh registry, estimator cache, job engine and model
+// store into an HTTP handler. Close the server (not just the listener) to
+// stop the engine's workers.
 func NewServer(opts Options) *Server {
 	reg := NewRegistry()
 	est := NewEstimatorCache()
+	eng := NewEngine(reg, est, opts)
 	s := &Server{
-		reg:   reg,
-		est:   est,
-		eng:   NewEngine(reg, est, opts),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		reg:      reg,
+		est:      est,
+		eng:      eng,
+		models:   NewModelStore(opts.MaxModels),
+		fitSlots: make(chan struct{}, eng.workers),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
 	}
 	s.routes()
 	return s
@@ -69,6 +85,15 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v1/models", s.handleFitModel)
+	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	// "load" is a reserved id: the literal route wins over the {id} pattern
+	// under the Go 1.22 mux's most-specific rule.
+	s.mux.HandleFunc("POST /v1/models/load", s.handleLoadModel)
+	s.mux.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
+	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
+	s.mux.HandleFunc("GET /v1/models/{id}/save", s.handleSaveModel)
+	s.mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -352,6 +377,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"datasets":        s.reg.Len(),
 		"estimator_cache": s.est.Stats(),
 		"jobs":            s.eng.Stats(),
+		"models":          s.models.Stats(),
 	})
 }
 
@@ -388,9 +414,9 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // the server rejects).
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrUnknownJob), errors.Is(err, ErrUnknownModel):
 		return http.StatusNotFound
-	case errors.Is(err, ErrExists):
+	case errors.Is(err, ErrExists), errors.Is(err, ErrModelStoreFull):
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -173,7 +174,69 @@ func TestServerSmoke(t *testing.T) {
 		t.Fatalf("ARI vs library result = %v, want exactly 1.0", ari)
 	}
 
-	// 7. /stats reflects the cache amortization.
+	// 7. Fit the same spec as a reusable model: the fit endpoint shares the
+	// job path's estimator cache and shared index, so its labels must match
+	// the job's bit for bit — and predicting the training dataset through
+	// the model must reproduce them under DBSCAN semantics up to LAF's
+	// estimator approximation (pinned exactly in the library tests; here the
+	// walkthrough asserts the serving plumbing round-trips).
+	code, body = postJSON(t, base+"/v1/models", map[string]any{
+		"dataset": name, "method": "laf-dbscan", "params": params, "estimator": estimator,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("fit model: %d %v", code, body)
+	}
+	if !body["estimator_cached"].(bool) {
+		t.Error("model fit did not hit the estimator cache")
+	}
+	modelID := body["model"].(map[string]any)["id"].(string)
+
+	// 8. Predict the training dataset through the model.
+	code, body = postJSON(t, base+"/v1/models/"+modelID+"/predict", map[string]any{"dataset": name})
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d %v", code, body)
+	}
+	rawPred := body["labels"].([]any)
+	pred := make([]int, len(rawPred))
+	for i, v := range rawPred {
+		pred[i] = int(v.(float64))
+	}
+
+	// 9. Save/load round trip through the HTTP surface: the reloaded model
+	// must predict identically to the stored one.
+	resp, err := http.Get(base + "/v1/models/" + modelID + "/save")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("save model: %d %v", resp.StatusCode, err)
+	}
+	resp, err = http.Post(base+"/v1/models/load", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body = decodeResp(t, resp)
+	if code != http.StatusCreated {
+		t.Fatalf("load model: %d %v", code, body)
+	}
+	loadedID := body["model"].(map[string]any)["id"].(string)
+	code, body = postJSON(t, base+"/v1/models/"+loadedID+"/predict", map[string]any{"dataset": name})
+	if code != http.StatusOK {
+		t.Fatalf("loaded predict: %d %v", code, body)
+	}
+	rawLoaded := body["labels"].([]any)
+	if len(rawLoaded) != len(pred) {
+		t.Fatalf("loaded model predicted %d labels, want %d", len(rawLoaded), len(pred))
+	}
+	for i, v := range rawLoaded {
+		if int(v.(float64)) != pred[i] {
+			t.Fatalf("loaded model predicts %v for point %d, stored model %d", v, i, pred[i])
+		}
+	}
+
+	// 10. /stats reflects the cache amortization and the model activity.
 	code, body = getJSON(t, base+"/v1/stats")
 	if code != http.StatusOK {
 		t.Fatalf("stats: %d %v", code, body)
@@ -182,7 +245,11 @@ func TestServerSmoke(t *testing.T) {
 	if cache["hits"].(float64) < 1 {
 		t.Errorf("estimator cache hits = %v, want >= 1", cache["hits"])
 	}
-	t.Logf("smoke OK: ARI=1.0, estimator cache %v, jobs %v", cache, body["jobs"])
+	models := body["models"].(map[string]any)
+	if models["predictions"].(float64) < 2 {
+		t.Errorf("model predictions = %v, want >= 2", models["predictions"])
+	}
+	t.Logf("smoke OK: ARI=1.0, estimator cache %v, jobs %v, models %v", cache, body["jobs"], models)
 }
 
 // TestServerHTTPStatusMapping pins the error contract of the HTTP layer:

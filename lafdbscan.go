@@ -10,12 +10,28 @@
 //
 // # Quick start
 //
+// Fit a reusable model once, then assign incoming vectors to its clusters
+// at the cost of one range query each — the same economics the paper
+// applies to single runs, extended across requests:
+//
 //	data := lafdbscan.MSLike(4000, 1)      // 768-dim synthetic embeddings
 //	train, test, _ := lafdbscan.Split(data, 0.8, 42)
 //
 //	est, _ := lafdbscan.TrainRMIEstimator(train.Vectors, lafdbscan.EstimatorConfig{
 //		TargetSize: test.Len(),
 //	})
+//	model, _ := lafdbscan.Fit(ctx, test.Vectors, lafdbscan.MethodLAFDBSCAN,
+//		lafdbscan.WithEps(0.55), lafdbscan.WithTau(5),
+//		lafdbscan.WithAlpha(2.0), lafdbscan.WithEstimator(est))
+//	fmt.Println(model.NumClusters(), model.NumCores())
+//
+//	labels, _ := model.Predict(ctx, incoming) // O(one range query) per vector
+//	_ = model.SaveFile("clusters.lafm")       // survives process restarts
+//
+// The original flat-Params entry points remain as the compatibility path
+// and produce labels bit-identical to Fit with the same knobs — they run
+// the same engines and simply discard the fitted artifacts:
+//
 //	res, _ := lafdbscan.LAFDBSCAN(test.Vectors, lafdbscan.Params{
 //		Eps: 0.55, Tau: 5, Alpha: 2.0, Estimator: est,
 //	})
@@ -328,11 +344,22 @@ const (
 )
 
 // Methods lists every supported method in the paper's reporting order.
+// ρ-approximate DBSCAN is deliberately absent — the paper reports it
+// separately (Table 4) after showing it degenerates in high dimensions —
+// but it is dispatchable; use AllMethods when validating user input.
 func Methods() []Method {
 	return []Method{
 		MethodDBSCAN, MethodKNNBlock, MethodBlockDBSCAN,
 		MethodDBSCANPP, MethodLAFDBSCAN, MethodLAFDBSCANPP,
 	}
+}
+
+// AllMethods lists every dispatchable method: the paper's reporting order of
+// Methods followed by ρ-approximate DBSCAN. The CLI tools and the lafserve
+// job engine validate method names against it, so everything Cluster and Fit
+// can dispatch is accepted everywhere.
+func AllMethods() []Method {
+	return append(Methods(), MethodRhoApprox)
 }
 
 // Cluster dispatches to the named method.

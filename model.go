@@ -1,0 +1,563 @@
+package lafdbscan
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+
+	"lafdbscan/internal/index"
+	"lafdbscan/internal/vecmath"
+)
+
+// A FitOption configures Fit. Options are the growing surface of the model
+// API — each one sets a single named knob — while the flat Params struct
+// remains the compatibility surface of the original Cluster entry points.
+// Every option maps onto a Params field, so Fit and Cluster accept and
+// reject exactly the same configurations (Params.Validate runs on the
+// assembled value either way).
+type FitOption func(*Params)
+
+// WithEps sets the cosine-distance (or, under WithMetric(MetricEuclidean),
+// Euclidean) range-query threshold.
+func WithEps(eps float64) FitOption { return func(p *Params) { p.Eps = eps } }
+
+// WithTau sets the minimum neighbor count (including the point itself) for
+// a point to be core.
+func WithTau(tau int) FitOption { return func(p *Params) { p.Tau = tau } }
+
+// WithAlpha sets LAF's error factor (predicted core when the estimated
+// cardinality is at least Alpha*Tau).
+func WithAlpha(alpha float64) FitOption { return func(p *Params) { p.Alpha = alpha } }
+
+// WithEstimator supplies the cardinality estimator the LAF methods gate
+// range queries with. Required for MethodLAFDBSCAN and MethodLAFDBSCANPP.
+func WithEstimator(est Estimator) FitOption { return func(p *Params) { p.Estimator = est } }
+
+// WithoutPostProcessing disables LAF's repair pass (ablation).
+func WithoutPostProcessing() FitOption { return func(p *Params) { p.DisablePostProcessing = true } }
+
+// WithSampleFraction sets the ++ variants' sample fraction in (0, 1].
+func WithSampleFraction(frac float64) FitOption { return func(p *Params) { p.SampleFraction = frac } }
+
+// WithBranching sets KNN-BLOCK DBSCAN's k-means tree fan-out.
+func WithBranching(b int) FitOption { return func(p *Params) { p.Branching = b } }
+
+// WithLeavesRatio sets KNN-BLOCK DBSCAN's examined-leaves fraction.
+func WithLeavesRatio(r float64) FitOption { return func(p *Params) { p.LeavesRatio = r } }
+
+// WithCoverTreeBase sets BLOCK-DBSCAN's cover tree expansion base.
+func WithCoverTreeBase(base float64) FitOption { return func(p *Params) { p.Base = base } }
+
+// WithRNT caps BLOCK-DBSCAN's approximate inter-block distance iterations.
+func WithRNT(rnt int) FitOption { return func(p *Params) { p.RNT = rnt } }
+
+// WithRho sets ρ-approximate DBSCAN's approximation factor.
+func WithRho(rho float64) FitOption { return func(p *Params) { p.Rho = rho } }
+
+// WithMetric selects the distance function for the metric-aware methods
+// (MethodDBSCAN and MethodLAFDBSCAN; the others are hardwired to cosine).
+func WithMetric(m DistanceMetric) FitOption { return func(p *Params) { p.Metric = m } }
+
+// WithSeed seeds every randomized component.
+func WithSeed(seed int64) FitOption { return func(p *Params) { p.Seed = seed } }
+
+// WithWorkers selects the parallel engine with that many workers
+// (WorkersAuto = all cores; 0 = the sequential reference engine). Predict
+// also sizes its query pool from it.
+func WithWorkers(w int) FitOption { return func(p *Params) { p.Workers = w } }
+
+// WithBatchSize sets the parallel engines' per-worker claim size.
+func WithBatchSize(b int) FitOption { return func(p *Params) { p.BatchSize = b } }
+
+// WithWaveSize bounds the parallel engines' neighbor-discovery memory.
+func WithWaveSize(w int) FitOption { return func(p *Params) { p.WaveSize = w } }
+
+// WithIndex supplies a pre-built shared range index (see Params.Index). The
+// fitted model retains it for prediction.
+func WithIndex(idx RangeIndex) FitOption { return func(p *Params) { p.Index = idx } }
+
+// Model is a fitted clustering: the labels plus every expensive artifact the
+// run produced — the core-point set, the canonical cluster forest, the range
+// index, and (for the LAF methods) the trained estimator. Where Cluster
+// throws these away after labeling one batch, a Model keeps them so new
+// points can be assigned to the existing clusters in O(one range query)
+// each (Predict), and so the whole thing can be persisted (Save/LoadModel)
+// and served (lafserve's /v1/models).
+//
+// A Model is immutable after Fit; all methods are safe for concurrent use.
+type Model struct {
+	method Method
+	params Params // effective values (LAF's Alpha default resolved)
+	points [][]float32
+	labels []int
+	core   []bool
+	forest []int32
+	// coreIDs is the ascending list of core point indexes, the scan set of
+	// nearest-core prediction.
+	coreIDs []int
+	index   RangeIndex
+	result  *Result
+}
+
+// Fit clusters points with the named method and returns the fitted model.
+// The labels are bit-identical to the corresponding Cluster call with the
+// same knobs and seed — Fit runs the same engines and additionally retains
+// their artifacts. Options assemble a Params value validated by the same
+// Params.Validate as every other entry point.
+func Fit(ctx context.Context, points [][]float32, m Method, opts ...FitOption) (*Model, error) {
+	var p Params
+	for _, o := range opts {
+		o(&p)
+	}
+	return FitParams(ctx, points, m, p)
+}
+
+// FitParams is Fit over a flat Params value, the bridge for callers that
+// already hold one (the CLI tools, the lafserve job specs).
+func FitParams(ctx context.Context, points [][]float32, m Method, p Params) (*Model, error) {
+	if !slices.Contains(AllMethods(), m) {
+		return nil, fmt.Errorf("lafdbscan: unknown method %q", m)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// The driver's range queries and the model's prediction queries must
+	// run under the same metric. Only DBSCAN and LAF-DBSCAN honor
+	// Params.Metric; every other method is hardwired to cosine distance.
+	metric := MetricCosine
+	if m == MethodDBSCAN || m == MethodLAFDBSCAN {
+		metric = p.Metric
+	}
+	// The specialized methods (KNN-BLOCK, BLOCK-DBSCAN, ρ-approximate)
+	// build their own structures and never see p.Index; prediction still
+	// needs a plain range index over the training points, so one is built
+	// (or the caller's shared one retained) either way.
+	if p.Index == nil {
+		p.Index = NewBruteForceIndex(points, metric)
+	}
+	fitParams := p
+	if !methodHonorsIndex(m) {
+		fitParams.Index = nil
+	}
+	res, err := ClusterContext(ctx, points, m, fitParams)
+	if err != nil {
+		return nil, err
+	}
+	if (m == MethodLAFDBSCAN || m == MethodLAFDBSCANPP) && p.Alpha == 0 {
+		p.Alpha = 1 // the dispatch's neutral default, made visible
+	}
+	return newModel(m, p, points, res), nil
+}
+
+// methodHonorsIndex reports whether the method's driver accepts a shared
+// range index (see Params.Index).
+func methodHonorsIndex(m Method) bool {
+	switch m {
+	case MethodDBSCAN, MethodDBSCANPP, MethodLAFDBSCAN, MethodLAFDBSCANPP:
+		return true
+	}
+	return false
+}
+
+// newModel wraps a finished clustering into a Model. p.Index must be the
+// prediction index over points.
+func newModel(m Method, p Params, points [][]float32, res *Result) *Model {
+	coreIDs := make([]int, 0, len(res.Core)/2)
+	for i, c := range res.Core {
+		if c {
+			coreIDs = append(coreIDs, i)
+		}
+	}
+	return &Model{
+		method:  m,
+		params:  p,
+		points:  points,
+		labels:  res.Labels,
+		core:    res.Core,
+		forest:  res.Forest,
+		coreIDs: coreIDs,
+		index:   p.Index,
+		result:  res,
+	}
+}
+
+// Method returns the clustering method the model was fitted with.
+func (m *Model) Method() Method { return m.method }
+
+// Params returns the effective fit parameters (Estimator and Index
+// included; LAF's Alpha default resolved to 1).
+func (m *Model) Params() Params { return m.params }
+
+// Len returns the number of training points.
+func (m *Model) Len() int { return len(m.points) }
+
+// Dim returns the training points' dimensionality.
+func (m *Model) Dim() int {
+	if len(m.points) == 0 {
+		return 0
+	}
+	return len(m.points[0])
+}
+
+// NumClusters returns the number of fitted clusters.
+func (m *Model) NumClusters() int { return m.result.NumClusters }
+
+// NumCores returns the number of core points.
+func (m *Model) NumCores() int { return len(m.coreIDs) }
+
+// Labels returns a copy of the fitted labels.
+func (m *Model) Labels() []int { return slices.Clone(m.labels) }
+
+// CoreMask returns a copy of the core-point mask.
+func (m *Model) CoreMask() []bool { return slices.Clone(m.core) }
+
+// Forest returns a copy of the canonical cluster forest: the minimum-index
+// core point of each core point's cluster, -1 for non-core points.
+func (m *Model) Forest() []int32 { return slices.Clone(m.forest) }
+
+// Result returns the fit result (for loaded models, a reconstruction
+// carrying labels, cores, forest and cluster count but no timings).
+func (m *Model) Result() *Result { return m.result }
+
+// HasEstimator reports whether the model carries a cardinality estimator
+// (fitted LAF models always do; loaded models only when the estimator was
+// serializable).
+func (m *Model) HasEstimator() bool { return m.params.Estimator != nil }
+
+// PredictOptions tunes Predict.
+type PredictOptions struct {
+	// Gate enables LAF's estimator gate on prediction: vectors whose
+	// estimated training-set cardinality falls below GateThreshold skip
+	// their range query and are labeled Noise directly — the same
+	// query-elision economics as fitting, applied out of sample. Estimator
+	// errors can mislabel borderline points as noise; leave the gate off
+	// when exact DBSCAN-semantics assignment matters. Requires a model
+	// with an estimator.
+	Gate bool
+	// GateThreshold is the predicted-cardinality cutoff of the gate;
+	// <= 0 selects 1 (fewer than one predicted training neighbor within
+	// Eps — nothing nearby to join).
+	GateThreshold float64
+}
+
+// Predict assigns each vector to a fitted cluster under DBSCAN semantics: a
+// vector within Eps of a core point joins that core's cluster, and a vector
+// within Eps of no core point is Noise. Each prediction costs one range
+// query over the training index (no re-clustering); queries are batched
+// through the wave engine, so prediction scales with the model's Workers
+// setting and aborts within one wave of a context cancellation.
+//
+// When several clusters' cores lie within Eps, the vector joins the cluster
+// its fitting run would have chosen: the lowest-numbered adjacent cluster
+// for the traversal-based methods (DBSCAN, LAF-DBSCAN, ρ-approximate), the
+// nearest core's cluster for the assignment-based ones (the ++ variants,
+// KNN-BLOCK, BLOCK-DBSCAN). Predicting the training points themselves
+// therefore reproduces the fitted labels wherever the method's own
+// structures were exact (always for DBSCAN and the ++ variants; for the
+// approximate baselines and post-processing-repaired LAF runs, up to their
+// documented approximations).
+func (m *Model) Predict(ctx context.Context, vectors [][]float32) ([]int, error) {
+	labels, _, err := m.PredictWithOptions(ctx, vectors, PredictOptions{})
+	return labels, err
+}
+
+// PredictWithOptions is Predict with the LAF gate available; skipped
+// reports how many range queries the gate elided.
+func (m *Model) PredictWithOptions(ctx context.Context, vectors [][]float32, o PredictOptions) (labels []int, skipped int, err error) {
+	labels = make([]int, len(vectors))
+	queries := vectors
+	qmap := []int(nil) // queries[k] predicts labels[qmap[k]] (nil: identity)
+	if o.Gate {
+		est := m.params.Estimator
+		if est == nil {
+			return nil, 0, fmt.Errorf("lafdbscan: prediction gate requires a model with an estimator (method %q has none)", m.method)
+		}
+		threshold := o.GateThreshold
+		if threshold <= 0 {
+			threshold = 1
+		}
+		pass := make([]bool, len(vectors))
+		index.ForEach(len(vectors), index.AutoWorkers(m.params.Workers), m.params.BatchSize, func(i int) {
+			pass[i] = est.Estimate(vectors[i], m.params.Eps) >= threshold
+		})
+		queries = make([][]float32, 0, len(vectors))
+		qmap = make([]int, 0, len(vectors))
+		for i, ok := range pass {
+			if ok {
+				queries = append(queries, vectors[i])
+				qmap = append(qmap, i)
+			} else {
+				labels[i] = Noise
+			}
+		}
+		skipped = len(vectors) - len(queries)
+	}
+	nearest := m.nearestCoreSemantics()
+	err = index.BatchRangeSearchFunc(ctx, m.index, queries, m.params.Eps,
+		index.AutoWorkers(m.params.Workers), m.params.BatchSize, m.params.WaveSize,
+		func(k int, ids []int) {
+			i := k
+			if qmap != nil {
+				i = qmap[k]
+			}
+			if nearest {
+				labels[i] = m.nearestCoreLabel(queries[k], ids)
+			} else {
+				labels[i] = m.minClusterLabel(ids)
+			}
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	return labels, skipped, nil
+}
+
+// nearestCoreSemantics reports whether the model's method assigns border
+// points to their nearest core (the sampling and block baselines) rather
+// than to the lowest-numbered adjacent cluster (the traversal methods).
+func (m *Model) nearestCoreSemantics() bool {
+	switch m.method {
+	case MethodDBSCAN, MethodLAFDBSCAN, MethodRhoApprox:
+		return false
+	}
+	return true
+}
+
+// minClusterLabel returns the minimum cluster label among the core points
+// in ids, or Noise when none is core.
+func (m *Model) minClusterLabel(ids []int) int {
+	best := Noise
+	for _, q := range ids {
+		if m.core[q] && (best == Noise || m.labels[q] < best) {
+			best = m.labels[q]
+		}
+	}
+	return best
+}
+
+// nearestCoreLabel returns the label of the closest core point in ids under
+// cosine distance (the metric every nearest-core method is hardwired to),
+// or Noise when none is core. Ties keep the lowest index, matching the
+// strict-improvement scan of the fitting drivers.
+func (m *Model) nearestCoreLabel(q []float32, ids []int) int {
+	best, bestD := -1, m.params.Eps
+	for _, id := range ids {
+		if !m.core[id] {
+			continue
+		}
+		if d := vecmath.CosineDistanceUnit(q, m.points[id]); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	if best < 0 {
+		// All in-range cores tie at exactly Eps — impossible, since the
+		// range query returns strictly-closer points only — or ids held no
+		// core at all.
+		return Noise
+	}
+	return m.labels[best]
+}
+
+// --- persistence ---
+
+// modelMagic and modelVersion head every serialized model. The magic
+// rejects arbitrary files immediately; the version gates the payload
+// decoder so future layout changes stay loadable side by side.
+var modelMagic = [4]byte{'L', 'A', 'F', 'M'}
+
+const modelVersion uint32 = 1
+
+// modelParamsV1 is the persistable subset of Params (Estimator and Index
+// travel separately or are rebuilt on load).
+type modelParamsV1 struct {
+	Eps                   float64
+	Tau                   int
+	Alpha                 float64
+	SampleFraction        float64
+	Branching             int
+	LeavesRatio           float64
+	Base                  float64
+	RNT                   int
+	Rho                   float64
+	Metric                int32
+	Seed                  int64
+	DisablePostProcessing bool
+	Workers               int
+	BatchSize             int
+	WaveSize              int
+}
+
+// modelPayloadV1 is the version-1 gob payload following the binary header.
+type modelPayloadV1 struct {
+	Method      string
+	Algorithm   string
+	Params      modelParamsV1
+	Points      [][]float32
+	Labels      []int32
+	Core        []bool
+	Forest      []int32
+	NumClusters int
+	// Estimator is the LAF gate, present when the fitted estimator was
+	// serializable (RMI); other estimator kinds are dropped on Save and the
+	// loaded model predicts ungated.
+	HasEstimator bool
+	Estimator    estimatorPayload
+}
+
+// Save writes the model to w: a fixed binary header (magic "LAFM" plus a
+// little-endian version) followed by the versioned gob payload — training
+// points, labels, cores, forest, configuration, and the RMI estimator
+// through internal/rmi's wire format when one is attached. A load of the
+// written bytes predicts identically to the in-memory model.
+func (m *Model) Save(w io.Writer) error {
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, modelVersion); err != nil {
+		return err
+	}
+	labels := make([]int32, len(m.labels))
+	for i, l := range m.labels {
+		labels[i] = int32(l)
+	}
+	p := m.params
+	payload := modelPayloadV1{
+		Method:    string(m.method),
+		Algorithm: m.result.Algorithm,
+		Params: modelParamsV1{
+			Eps: p.Eps, Tau: p.Tau, Alpha: p.Alpha,
+			SampleFraction: p.SampleFraction,
+			Branching:      p.Branching, LeavesRatio: p.LeavesRatio,
+			Base: p.Base, RNT: p.RNT, Rho: p.Rho,
+			Metric: int32(p.Metric), Seed: p.Seed,
+			DisablePostProcessing: p.DisablePostProcessing,
+			Workers:               p.Workers, BatchSize: p.BatchSize, WaveSize: p.WaveSize,
+		},
+		Points:      m.points,
+		Labels:      labels,
+		Core:        m.core,
+		Forest:      m.forest,
+		NumClusters: m.result.NumClusters,
+	}
+	if est := m.params.Estimator; est != nil {
+		switch ep, err := marshalEstimator(est); {
+		case err == nil:
+			payload.HasEstimator = true
+			payload.Estimator = ep
+		case errors.Is(err, errEstimatorNotSerializable):
+			// Documented drop: oracle/sampling/histogram estimators have no
+			// wire format; the loaded model predicts ungated.
+		default:
+			return err // a real RMI encoding failure must not save silently
+		}
+	}
+	return gob.NewEncoder(w).Encode(&payload)
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model written by Save and rebuilds its range index, so
+// the returned model predicts identically to the one that was saved. It
+// rejects wrong or truncated headers and unknown versions with descriptive
+// errors.
+func LoadModel(r io.Reader) (*Model, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("lafdbscan: reading model header: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("lafdbscan: not a model file (bad magic %q)", magic[:])
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("lafdbscan: reading model version: %w", err)
+	}
+	switch version {
+	case 1:
+		return loadModelV1(r)
+	default:
+		// Future versions slot in above; refusing unknown ones here keeps
+		// a corrupted or newer-format file from decoding into garbage.
+		return nil, fmt.Errorf("lafdbscan: unsupported model version %d (this build reads <= %d)", version, modelVersion)
+	}
+}
+
+// loadModelV1 decodes the version-1 payload.
+func loadModelV1(r io.Reader) (*Model, error) {
+	var payload modelPayloadV1
+	if err := gob.NewDecoder(r).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("lafdbscan: decoding model: %w", err)
+	}
+	m := Method(payload.Method)
+	if !slices.Contains(AllMethods(), m) {
+		return nil, fmt.Errorf("lafdbscan: model names unknown method %q", payload.Method)
+	}
+	n := len(payload.Points)
+	if n == 0 || len(payload.Labels) != n || len(payload.Core) != n || len(payload.Forest) != n {
+		return nil, fmt.Errorf("lafdbscan: malformed model: %d points, %d labels, %d cores, %d forest entries",
+			n, len(payload.Labels), len(payload.Core), len(payload.Forest))
+	}
+	pp := payload.Params
+	p := Params{
+		Eps: pp.Eps, Tau: pp.Tau, Alpha: pp.Alpha,
+		SampleFraction: pp.SampleFraction,
+		Branching:      pp.Branching, LeavesRatio: pp.LeavesRatio,
+		Base: pp.Base, RNT: pp.RNT, Rho: pp.Rho,
+		Metric: DistanceMetric(pp.Metric), Seed: pp.Seed,
+		DisablePostProcessing: pp.DisablePostProcessing,
+		Workers:               pp.Workers, BatchSize: pp.BatchSize, WaveSize: pp.WaveSize,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("lafdbscan: malformed model: %w", err)
+	}
+	if payload.HasEstimator {
+		est, err := unmarshalEstimator(payload.Estimator)
+		if err != nil {
+			return nil, fmt.Errorf("lafdbscan: model estimator: %w", err)
+		}
+		p.Estimator = est
+	}
+	labels := make([]int, n)
+	for i, l := range payload.Labels {
+		labels[i] = int(l)
+	}
+	metric := MetricCosine
+	if m == MethodDBSCAN || m == MethodLAFDBSCAN {
+		metric = p.Metric
+	}
+	p.Index = NewBruteForceIndex(payload.Points, metric)
+	res := &Result{
+		Algorithm:   payload.Algorithm,
+		Labels:      labels,
+		NumClusters: payload.NumClusters,
+		Core:        payload.Core,
+		Forest:      payload.Forest,
+	}
+	return newModel(m, p, payload.Points, res), nil
+}
+
+// LoadModelFile reads a model from a file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

@@ -15,51 +15,57 @@ import "fmt"
 // LeavesRatio / Base / RNT / Rho fall back to the paper's settings, and
 // Workers 0 selects the sequential engine.
 func (p Params) Validate() error {
+	// Every rejection names the offending field and the value it carried in
+	// one uniform shape, so a CLI usage error, an HTTP 400 body and a test
+	// failure all read the same and point straight at the knob to fix.
+	fail := func(field string, value any, constraint string) error {
+		return fmt.Errorf("lafdbscan: invalid %s = %v: %s", field, value, constraint)
+	}
 	// Both supported metrics are bounded by 2 on unit vectors (cosine
 	// distance by definition, Euclidean via Equation 1), so thresholds
 	// beyond 2 mean every point neighbors every other — a parameterization
 	// mistake, not a clustering.
 	if p.Eps <= 0 || p.Eps > 2 {
-		return fmt.Errorf("lafdbscan: eps %v outside (0, 2]", p.Eps)
+		return fail("Eps", p.Eps, "must lie in (0, 2]")
 	}
 	if p.Tau < 1 {
-		return fmt.Errorf("lafdbscan: tau %d < 1", p.Tau)
+		return fail("Tau", p.Tau, "must be at least 1")
 	}
 	if p.Alpha < 0 {
-		return fmt.Errorf("lafdbscan: alpha %v negative (0 selects the neutral 1.0)", p.Alpha)
+		return fail("Alpha", p.Alpha, "must be non-negative (0 selects the neutral 1.0)")
 	}
 	if p.SampleFraction < 0 || p.SampleFraction > 1 {
-		return fmt.Errorf("lafdbscan: sample fraction %v outside [0, 1]", p.SampleFraction)
+		return fail("SampleFraction", p.SampleFraction, "must lie in [0, 1]")
 	}
 	if p.Branching != 0 && p.Branching < 2 {
-		return fmt.Errorf("lafdbscan: branching factor %d < 2 (0 selects the default)", p.Branching)
+		return fail("Branching", p.Branching, "must be at least 2 (0 selects the default)")
 	}
 	if p.LeavesRatio < 0 || p.LeavesRatio > 1 {
-		return fmt.Errorf("lafdbscan: leaves ratio %v outside [0, 1]", p.LeavesRatio)
+		return fail("LeavesRatio", p.LeavesRatio, "must lie in [0, 1]")
 	}
 	if p.Base != 0 && p.Base <= 1 {
-		return fmt.Errorf("lafdbscan: cover tree base %v must be > 1 (0 selects the default)", p.Base)
+		return fail("Base", p.Base, "must exceed 1 (0 selects the default)")
 	}
 	if p.RNT < 0 {
-		return fmt.Errorf("lafdbscan: RNT %d negative (0 selects the default)", p.RNT)
+		return fail("RNT", p.RNT, "must be non-negative (0 selects the default)")
 	}
 	if p.Rho < 0 {
-		return fmt.Errorf("lafdbscan: rho %v negative", p.Rho)
+		return fail("Rho", p.Rho, "must be non-negative")
 	}
 	if p.Metric != MetricCosine && p.Metric != MetricEuclidean {
-		return fmt.Errorf("lafdbscan: unknown metric %v", p.Metric)
+		return fail("Metric", p.Metric, "must be MetricCosine or MetricEuclidean")
 	}
 	// Below zero only -1 has a defined meaning for Workers (all cores) and
 	// WaveSize (buffer everything); BatchSize is a chunk size with no
 	// negative interpretation.
 	if p.Workers < WorkersAuto {
-		return fmt.Errorf("lafdbscan: workers %d < -1 (-1 = all cores)", p.Workers)
+		return fail("Workers", p.Workers, "must be at least -1 (-1 = all cores)")
 	}
 	if p.BatchSize < 0 {
-		return fmt.Errorf("lafdbscan: batch size %d negative (0 = auto)", p.BatchSize)
+		return fail("BatchSize", p.BatchSize, "must be non-negative (0 = auto)")
 	}
 	if p.WaveSize < -1 {
-		return fmt.Errorf("lafdbscan: wave size %d < -1 (-1 = buffer everything)", p.WaveSize)
+		return fail("WaveSize", p.WaveSize, "must be at least -1 (-1 = buffer everything)")
 	}
 	return nil
 }
