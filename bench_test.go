@@ -10,7 +10,7 @@ package lafdbscan
 // reproduces the entire evaluation. Dataset scales are laptop stand-ins for
 // the paper's 50k-150k corpora (LAF_BENCH_SCALE=medium|large grows them);
 // the reproduction target is the shape of the results, not absolute
-// seconds — see DESIGN.md and EXPERIMENTS.md.
+// seconds — see docs/BENCHMARKS.md for the methodology.
 //
 // Experiments run through a shared workbench so datasets, estimators and
 // DBSCAN ground truths are built once. Run with -benchtime=1x for a single
@@ -172,7 +172,7 @@ func BenchmarkFigure4Scaling(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (design choices called out in DESIGN.md) -------
+// --- Ablation benchmarks (isolating the paper's design choices) ---------
 
 // BenchmarkAblationPostProcessing isolates the cost and benefit of LAF's
 // repair pass: LAF-DBSCAN with and without Algorithm 3.

@@ -2,8 +2,8 @@ package lafdbscan
 
 // Integration tests pinning the paper's headline claims at test scale.
 // Where possible the assertions use range-query counts rather than wall
-// time, so they stay robust on loaded CI machines; EXPERIMENTS.md records
-// the wall-time shape of the full harness runs.
+// time, so they stay robust on loaded CI machines; the full harness
+// (internal/bench, run via `go test -bench .`) reports the wall-time shape.
 
 import (
 	"testing"

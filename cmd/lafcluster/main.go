@@ -9,6 +9,8 @@
 //	lafcluster -data test.lafd -method laf-dbscan -eps 0.55 -tau 5 -alpha 2 [-train train.lafd] [-compare]
 //	lafcluster -data train.lafd -method dbscan -eps 0.5 -tau 5 -save model.lafm
 //	lafcluster -load model.lafm -predict incoming.lafd
+//	lafcluster -load model.lafm -insert new.lafd -save model.lafm
+//	lafcluster -load model.lafm -remove 3,17,42 -save model.lafm
 //
 // Modes:
 //
@@ -18,6 +20,13 @@
 //   - Load: -load reads a model written by -save (or downloaded from
 //     lafserve's /v1/models/{id}/save) instead of clustering; -predict then
 //     costs one range query per point — the whole point of keeping models.
+//   - Maintain: -insert folds a dataset's points into the clustering
+//     online (incremental DBSCAN: promotions, merges), -remove drops point
+//     ids (demotions, splits) — both at the cost of the changed
+//     neighborhoods only, with labels identical to re-clustering from
+//     scratch for the traversal methods. -retrain N retrains a LAF model's
+//     estimator once N mutations have accumulated. Combine with -save to
+//     persist the evolved model.
 //
 // When -method is laf-dbscan or laf-dbscan++ an RMI estimator is trained
 // first — on -train when given, otherwise on the dataset itself — and its
@@ -32,6 +41,8 @@ import (
 	"log"
 	"os"
 	"slices"
+	"strconv"
+	"strings"
 	"time"
 
 	"lafdbscan"
@@ -53,10 +64,13 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel engine workers for dbscan/laf methods: 0 sequential, -1 all cores")
 		batchSize   = flag.Int("batch", 0, "queries per parallel work unit (0 = auto)")
 		waveSize    = flag.Int("wave", 0, "range queries per neighbor-discovery wave (0 = auto, -1 = unbounded buffer-everything engine)")
-		savePath    = flag.String("save", "", "persist the fitted model to this file")
+		savePath    = flag.String("save", "", "persist the (fitted or evolved) model to this file")
 		loadPath    = flag.String("load", "", "load a model from this file instead of clustering")
 		predictPath = flag.String("predict", "", "dataset file to assign to the model's clusters")
 		gate        = flag.Bool("gate", false, "use the model's estimator to skip predicted-noise queries during -predict")
+		insertPath  = flag.String("insert", "", "dataset file to fold into the model's clustering online")
+		removeIDs   = flag.String("remove", "", "comma-separated point ids to drop from the model's clustering")
+		retrainN    = flag.Int("retrain", 0, "retrain a LAF model's estimator after this many mutations (0 = never)")
 	)
 	flag.Parse()
 
@@ -69,8 +83,12 @@ func main() {
 			log.Fatalf("loading model %s: %v", *loadPath, err)
 		}
 		printModel(model, *loadPath)
+		maintain(model, *insertPath, *removeIDs, *retrainN)
 		if *predictPath != "" {
 			predict(model, *predictPath, *gate)
+		}
+		if *savePath != "" {
+			saveModel(model, *savePath)
 		}
 		return
 	}
@@ -154,16 +172,87 @@ func main() {
 			truth.Elapsed.Seconds()/res.Elapsed.Seconds())
 	}
 
+	maintain(model, *insertPath, *removeIDs, *retrainN)
+
 	if *savePath != "" {
-		if err := model.SaveFile(*savePath); err != nil {
-			log.Fatalf("saving model: %v", err)
-		}
-		if fi, err := os.Stat(*savePath); err == nil {
-			fmt.Printf("model saved:     %s (%d bytes)\n", *savePath, fi.Size())
-		}
+		saveModel(model, *savePath)
 	}
 	if *predictPath != "" {
 		predict(model, *predictPath, *gate)
+	}
+}
+
+// maintain applies the online-maintenance flags to a model: the retrain
+// policy first (so it can trigger on this run's mutations), then -insert,
+// then -remove.
+func maintain(model *lafdbscan.Model, insertPath, removeIDs string, retrainN int) {
+	if retrainN > 0 {
+		model.SetRetrainPolicy(lafdbscan.RetrainPolicy{
+			After: retrainN,
+			Train: func(ctx context.Context, points [][]float32) (lafdbscan.Estimator, error) {
+				start := time.Now()
+				est, err := lafdbscan.TrainRMIEstimator(points, lafdbscan.EstimatorConfig{
+					TargetSize: len(points),
+				})
+				if err == nil {
+					fmt.Printf("estimator retrained on %d points in %v\n",
+						len(points), time.Since(start).Round(time.Millisecond))
+				}
+				return est, err
+			},
+		})
+	}
+	if insertPath != "" {
+		data, err := lafdbscan.LoadDataset(insertPath)
+		if err != nil {
+			log.Fatalf("loading %s: %v", insertPath, err)
+		}
+		if data.Dim() != model.Dim() {
+			log.Fatalf("insert dataset has %d dims, model has %d", data.Dim(), model.Dim())
+		}
+		start := time.Now()
+		rep, err := model.Insert(context.Background(), data.Vectors)
+		if err != nil {
+			log.Fatalf("inserting: %v", err)
+		}
+		printReport("inserted", data.Len(), rep, time.Since(start))
+	}
+	if removeIDs != "" {
+		var ids []int
+		for _, f := range strings.Split(removeIDs, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("-remove: %q is not a point id", f)
+			}
+			ids = append(ids, id)
+		}
+		start := time.Now()
+		rep, err := model.Remove(context.Background(), ids)
+		if err != nil {
+			log.Fatalf("removing: %v", err)
+		}
+		printReport("removed", len(ids), rep, time.Since(start))
+	}
+}
+
+// printReport summarizes one maintenance operation.
+func printReport(verb string, n int, rep lafdbscan.UpdateReport, elapsed time.Duration) {
+	fmt.Printf("%s:        %d points in %v (promoted %d, demoted %d)\n",
+		verb, n, elapsed.Round(time.Millisecond), rep.Promoted, rep.Demoted)
+	fmt.Printf("clusters now:    %d (%d cores, staleness %d", rep.Clusters, rep.Cores, rep.Staleness)
+	if rep.Retrained {
+		fmt.Printf(", estimator retrained")
+	}
+	fmt.Println(")")
+}
+
+// saveModel persists the model and reports the file size.
+func saveModel(model *lafdbscan.Model, path string) {
+	if err := model.SaveFile(path); err != nil {
+		log.Fatalf("saving model: %v", err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		fmt.Printf("model saved:     %s (%d bytes)\n", path, fi.Size())
 	}
 }
 

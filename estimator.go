@@ -14,8 +14,8 @@ import (
 	"lafdbscan/internal/vecmath"
 )
 
-// EstimatorConfig controls TrainRMIEstimator. Zero values pick the fast
-// defaults documented in DESIGN.md; set Paper to true for the paper's exact
+// EstimatorConfig controls TrainRMIEstimator. Zero values pick fast
+// laptop-friendly defaults; set Paper to true for the paper's exact
 // architecture (RMI 1/2/4 with hidden widths 512-512-256-128, 200 epochs,
 // batch 512 — slow to train in pure Go).
 type EstimatorConfig struct {

@@ -23,8 +23,8 @@ type AblationRow struct {
 
 // PostProcessingAblation isolates the contribution of Algorithm 3 (the
 // repair pass): LAF-DBSCAN with and without post-processing on the largest
-// datasets at (0.55, 5). DESIGN.md calls this design choice out; the paper
-// motivates it but never measures it separately.
+// datasets at (0.55, 5). The paper motivates the repair pass but never
+// measures it separately; this ablation does.
 func (w *Workbench) PostProcessingAblation() ([]AblationRow, error) {
 	s := Setting{0.55, 5}
 	var rows []AblationRow

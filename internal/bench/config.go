@@ -1,14 +1,3 @@
-// Package bench is the experiment harness that regenerates every table and
-// figure of the paper's evaluation section. Each experiment has a builder
-// returning structured rows plus a formatter that prints the same layout
-// the paper reports; cmd/lafbench and the repository-level benchmarks are
-// thin wrappers over this package.
-//
-// Dataset scales default to laptop-friendly stand-ins for the paper's
-// 50k-150k corpora (the reproduction target is the shape of the results —
-// who wins, by what factor, where crossovers fall — not absolute seconds;
-// see DESIGN.md). Set LAF_BENCH_SCALE=medium or LAF_BENCH_SCALE=large to
-// grow them.
 package bench
 
 import (

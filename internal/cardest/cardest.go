@@ -1,9 +1,3 @@
-// Package cardest defines the cardinality-estimator abstraction LAF plugs
-// in front of range queries, together with several implementations: the
-// learned RMI estimator the paper deploys, an exact counter (for tests and
-// upper-bound ablations), and two traditional baselines (uniform sampling
-// and anchor-histogram density estimation) of the kind the paper contrasts
-// learned estimation against.
 package cardest
 
 import (

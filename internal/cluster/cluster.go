@@ -1,11 +1,3 @@
-// Package cluster implements the clustering algorithms of the paper's
-// evaluation: exact DBSCAN (the ground truth), the sampling-based DBSCAN++,
-// and the three approximate baselines KNN-BLOCK DBSCAN, BLOCK-DBSCAN and
-// ρ-approximate DBSCAN. The LAF-enhanced variants live in internal/core.
-//
-// All algorithms consume unit-normalized vectors and a cosine-distance
-// threshold Eps; baselines that natively need Euclidean distance (the cover
-// tree and the grid) convert thresholds with Equation 1 of the paper.
 package cluster
 
 import (

@@ -1,0 +1,111 @@
+package cluster
+
+// This file holds the label-resolution primitives of incremental model
+// maintenance (Model.Insert / Model.Remove in the root package). The
+// parallel engines established that every traversal labeling is a pure
+// function of three order-free facts — the core set, ε-connectivity among
+// core points, and each non-core point's adjacent cores. The incremental
+// engine maintains exactly those facts under point insertion and removal
+// and re-resolves labels from them; the functions here are the resolution
+// side, pure in-memory graph work that issues no range queries.
+
+// ResolveCanonical computes the canonical labeling of a maintained
+// clustering state: core reports which points are core, and adj[i] lists
+// the ids of the core points within Eps of point i (excluding i itself;
+// entries that are not currently core are ignored, so callers may leave
+// stale ids behind a demotion until their next maintenance pass).
+//
+// Clusters are the ε-connected components of the core points, numbered in
+// ascending order of each component's minimum core id — exactly the
+// numbering sequential DBSCAN's scan produces and WaveMerger.Resolve
+// reproduces, because the traversal starts every cluster at its
+// lowest-indexed core point. Non-core points with at least one adjacent
+// core become borders: with a nil nearest they join the lowest-numbered
+// adjacent cluster (the traversal methods' contested-border rule); a
+// non-nil nearest selects the claiming core among the adjacent candidates
+// (the sampling/block methods' nearest-core rule; it must return one of
+// cands). Everything else is Noise.
+func ResolveCanonical(core []bool, adj [][]int32, nearest func(i int, cands []int32) int32) []int {
+	n := len(core)
+	labels := make([]int, n) // 0 = unassigned, cluster ids start at 1
+	// Component discovery by BFS from each unvisited core in ascending id
+	// order assigns cluster ids in min-core order directly — no sort needed.
+	c := 0
+	var queue []int32
+	for p := 0; p < n; p++ {
+		if !core[p] || labels[p] != 0 {
+			continue
+		}
+		c++
+		labels[p] = c
+		queue = append(queue[:0], int32(p))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range adj[u] {
+				if core[v] && labels[v] == 0 {
+					labels[v] = c
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	// Border assignment from the border's own adjacency.
+	for i := 0; i < n; i++ {
+		if core[i] {
+			continue
+		}
+		if nearest != nil {
+			if len(adj[i]) > 0 {
+				if pick := nearest(i, adj[i]); pick >= 0 && core[pick] {
+					labels[i] = labels[pick]
+				}
+			}
+		} else {
+			for _, a := range adj[i] {
+				if core[a] && (labels[i] == 0 || labels[a] < labels[i]) {
+					labels[i] = labels[a]
+				}
+			}
+		}
+		if labels[i] == 0 {
+			labels[i] = Noise
+		}
+	}
+	return labels
+}
+
+// RenumberAscending canonicalizes cluster ids to 1..k in ascending order of
+// their original values, in place, and returns k. It is the identity on a
+// labeling that is already canonically numbered, and matches the
+// renumbering every engine applies after its last label rewrite (LAF
+// post-processing leaves union-find roots as ids; this maps them back onto
+// a dense, order-preserving range).
+func RenumberAscending(labels []int) int {
+	maxID := 0
+	for _, l := range labels {
+		if l > maxID {
+			maxID = l
+		}
+	}
+	seen := make([]bool, maxID+1)
+	for _, l := range labels {
+		if l != Noise && l >= 0 {
+			seen[l] = true
+		}
+	}
+	remap := make([]int, maxID+1)
+	k := 0
+	for id, ok := range seen {
+		if ok {
+			k++
+			remap[id] = k
+		}
+	}
+	for i, l := range labels {
+		if l != Noise && l >= 0 {
+			labels[i] = remap[l]
+		}
+	}
+	return k
+}

@@ -1,24 +1,3 @@
-// Package core implements the paper's contribution: LAF, the Learned
-// Accelerator Framework for angular-distance DBSCAN-like clustering, and
-// the two algorithms built on it, LAF-DBSCAN (Algorithm 1) and
-// LAF-DBSCAN++.
-//
-// LAF is a plugin with three parts:
-//
-//  1. A cardinality-estimation gate placed before every range query: when
-//     the estimator predicts fewer than α·τ neighbors, the point is treated
-//     as a "stop point" (non-core or noise) and its range query is skipped.
-//  2. A partial-neighbor map E recording, for every predicted stop point,
-//     the subset of its true neighbors discovered for free — every executed
-//     range query that finds a predicted stop point registers the querying
-//     point as its neighbor (Algorithm 2, UpdatePartialNeighbors).
-//  3. A post-processing pass (Algorithm 3) that treats any entry of E with
-//     at least τ partial neighbors as a detected false negative and merges
-//     the clusters its neighbors were split into.
-//
-// The error factor α tunes the speed/quality trade-off: larger α predicts
-// more stop points (faster, lower quality), smaller α fewer (slower,
-// higher quality).
 package core
 
 import (

@@ -1,0 +1,14 @@
+// Package dataset provides the vector dataset container used throughout the
+// repository and synthetic generators that stand in for the paper's three
+// corpus families (NYTimes bag-of-words, GloVe word embeddings and MS MARCO
+// passage embeddings). The generators reproduce the statistical properties
+// the clustering algorithms are sensitive to — unit-norm vectors, bounded
+// angular distances, high-density cores separated by sparse regions,
+// heavy-tailed cluster sizes and a tunable noise floor — without requiring
+// the original corpora or a GPU encoder.
+//
+// Every generator owns a private rand.Rand seeded from its config — none
+// touch the global math/rand source — so generation is deterministic per
+// (config, seed) and safe to run concurrently from parallel tests and the
+// parallel clustering engine's benchmarks.
+package dataset

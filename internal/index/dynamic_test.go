@@ -1,0 +1,237 @@
+package index
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"lafdbscan/internal/vecmath"
+)
+
+// applyOps drives a DynamicIndex through a scripted mutation sequence and
+// mirrors it on a plain slice, returning the expected live point set.
+func applyOps(t *testing.T, idx DynamicIndex, pts [][]float32, seed int64) [][]float32 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mirror := slices.Clone(pts)
+	for step := 0; step < 40; step++ {
+		if rng.Intn(2) == 0 && len(mirror) > 8 {
+			id := rng.Intn(len(mirror))
+			idx.Delete(id)
+			mirror = slices.Delete(mirror, id, id+1)
+		} else {
+			batch := make([][]float32, 1+rng.Intn(3))
+			for i := range batch {
+				batch[i] = vecmath.RandomUnit(len(mirror[0]), rng)
+			}
+			idx.Insert(batch)
+			mirror = append(mirror, batch...)
+		}
+	}
+	return mirror
+}
+
+// TestBruteForceDynamic pins the dynamic contract on the exact scanner: a
+// mutated index answers every query exactly as a fresh index over the
+// resulting point set.
+func TestBruteForceDynamic(t *testing.T) {
+	pts := clusteredPoints(60, 16, 1)
+	bf := NewBruteForce(slices.Clone(pts), vecmath.CosineDistanceUnit)
+	mirror := applyOps(t, bf, pts, 2)
+	if bf.Len() != len(mirror) {
+		t.Fatalf("Len = %d, want %d", bf.Len(), len(mirror))
+	}
+	fresh := NewBruteForce(mirror, vecmath.CosineDistanceUnit)
+	for _, q := range mirror[:20] {
+		if got, want := bf.RangeSearch(q, 0.4), fresh.RangeSearch(q, 0.4); !equalIDs(got, want) {
+			t.Fatalf("dynamic brute force diverged: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestGridDynamic pins the grid's native mutations: cells gain and lose
+// members (and empty cells disappear) such that the mutated grid matches a
+// freshly built one over the resulting points.
+func TestGridDynamic(t *testing.T) {
+	pts := clusteredPoints(60, 8, 3)
+	g := NewGrid(slices.Clone(pts), 0.5, 1.0)
+	mirror := applyOps(t, g, pts, 4)
+	fresh := NewGrid(mirror, 0.5, 1.0)
+	if g.Len() != fresh.Len() {
+		t.Fatalf("Len = %d, want %d", g.Len(), fresh.Len())
+	}
+	if g.NumCells() != fresh.NumCells() {
+		t.Fatalf("NumCells = %d, want %d (empty cells must be dropped)", g.NumCells(), fresh.NumCells())
+	}
+	for _, q := range mirror[:20] {
+		if got, want := g.ApproxRangeSearch(q, 0.5), fresh.ApproxRangeSearch(q, 0.5); !equalIDs(got, want) {
+			t.Fatalf("dynamic grid diverged: %v vs %v", got, want)
+		}
+		if got, want := g.ApproxRangeCount(q, 0.5), fresh.ApproxRangeCount(q, 0.5); got != want {
+			t.Fatalf("dynamic grid count diverged: %d vs %d", got, want)
+		}
+	}
+}
+
+// TestCoverTreeDynamic pins the rebuild-threshold fallback on the exact
+// tree: native inserts and tombstoned deletions (through rebuilds) keep
+// range results identical to a brute-force scan of the live point set.
+func TestCoverTreeDynamic(t *testing.T) {
+	pts := clusteredPoints(60, 16, 5)
+	ct := NewCoverTree(slices.Clone(pts), vecmath.CosineDistanceUnit, 2.0)
+	mirror := applyOps(t, ct, pts, 6)
+	if ct.Len() != len(mirror) {
+		t.Fatalf("Len = %d, want %d", ct.Len(), len(mirror))
+	}
+	truth := NewBruteForce(mirror, vecmath.CosineDistanceUnit)
+	for _, q := range mirror[:20] {
+		if got, want := ct.RangeSearch(q, 0.4), truth.RangeSearch(q, 0.4); !equalIDs(got, want) {
+			t.Fatalf("dynamic cover tree diverged: %v vs %v", got, want)
+		}
+		if got, want := ct.RangeCount(q, 0.4), truth.RangeCount(q, 0.4); got != want {
+			t.Fatalf("dynamic cover tree count diverged: %d vs %d", got, want)
+		}
+	}
+}
+
+// TestCoverTreeDeleteRebuild forces the tombstone share over the rebuild
+// threshold and checks the compaction: ids renumber exactly as the point
+// slice does and deleted points never reappear.
+func TestCoverTreeDeleteRebuild(t *testing.T) {
+	pts := clusteredPoints(40, 8, 7)
+	ct := NewCoverTree(slices.Clone(pts), vecmath.CosineDistanceUnit, 2.0)
+	mirror := slices.Clone(pts)
+	for i := 0; i < 20; i++ { // 50% deleted: crosses the 25% threshold twice
+		ct.Delete(0)
+		mirror = mirror[1:]
+	}
+	truth := NewBruteForce(mirror, vecmath.CosineDistanceUnit)
+	for _, q := range mirror {
+		if got, want := ct.RangeSearch(q, 0.5), truth.RangeSearch(q, 0.5); !equalIDs(got, want) {
+			t.Fatalf("post-rebuild cover tree diverged: %v vs %v", got, want)
+		}
+	}
+	if id, _ := ct.NearestNeighbor(mirror[0]); id < 0 || id >= len(mirror) {
+		t.Fatalf("NearestNeighbor returned out-of-range id %d", id)
+	}
+}
+
+// TestKMeansTreeDynamic checks the approximate tree's overlay semantics:
+// appended points are scanned exactly (so they are always findable within
+// eps), deleted points never surface, and ids stay within the compacted
+// range.
+func TestKMeansTreeDynamic(t *testing.T) {
+	pts := clusteredPoints(80, 16, 9)
+	km := NewKMeansTree(slices.Clone(pts), vecmath.CosineDistanceUnit, KMeansTreeConfig{Seed: 1, LeavesRatio: 1.0})
+	mirror := slices.Clone(pts)
+
+	// Delete a handful of points, remember one of them.
+	removed := slices.Clone(mirror[3])
+	for i := 0; i < 5; i++ {
+		km.Delete(3)
+		mirror = slices.Delete(mirror, 3, 3+1)
+	}
+	// Insert new points below the rebuild threshold: they live in the
+	// overlay and must be findable at distance ~0.
+	extra := clusteredPoints(4, 16, 10)
+	km.Insert(extra)
+	mirror = append(mirror, extra...)
+	if km.Len() != len(mirror) {
+		t.Fatalf("Len = %d, want %d", km.Len(), len(mirror))
+	}
+	for k, q := range extra {
+		got := km.RangeSearchApprox(q, 0.1)
+		wantID := len(mirror) - len(extra) + k
+		if !slices.Contains(got, wantID) {
+			t.Fatalf("overlay point %d not found by its own query: %v", wantID, got)
+		}
+	}
+	// At LeavesRatio 1.0 every leaf is examined, so results must equal the
+	// exact scan over the live set.
+	truth := NewBruteForce(mirror, vecmath.CosineDistanceUnit)
+	for _, q := range mirror[:20] {
+		if got, want := km.RangeSearchApprox(q, 0.4), truth.RangeSearch(q, 0.4); !equalIDs(got, want) {
+			t.Fatalf("full-recall dynamic k-means tree diverged: %v vs %v", got, want)
+		}
+	}
+	// The deleted point must not be findable even by an exact-match query.
+	for _, id := range km.RangeSearchApprox(removed, 1e-6) {
+		if d := vecmath.CosineDistanceUnit(removed, mirror[id]); d > 1e-5 {
+			t.Fatalf("query at a deleted point surfaced unrelated id %d (d=%v)", id, d)
+		}
+	}
+}
+
+// TestDeleteManyMatchesFresh pins the batch-deletion path of every index:
+// one DeleteMany call must leave the index answering exactly like a fresh
+// build over the surviving points (and like the per-id Delete loop it
+// replaces, which the other tests cover).
+func TestDeleteManyMatchesFresh(t *testing.T) {
+	pts := clusteredPoints(80, 12, 21)
+	rng := rand.New(rand.NewSource(22))
+	ids := rng.Perm(len(pts))[:25]
+	slices.Sort(ids)
+	mirror := make([][]float32, 0, len(pts)-len(ids))
+	for i, p := range pts {
+		if !slices.Contains(ids, i) {
+			mirror = append(mirror, p)
+		}
+	}
+	truth := NewBruteForce(mirror, vecmath.CosineDistanceUnit)
+
+	bf := NewBruteForce(slices.Clone(pts), vecmath.CosineDistanceUnit)
+	bf.DeleteMany(slices.Clone(ids))
+	grid := NewGrid(slices.Clone(pts), 0.5, 1.0)
+	grid.DeleteMany(slices.Clone(ids))
+	gridFresh := NewGrid(mirror, 0.5, 1.0)
+	ct := NewCoverTree(slices.Clone(pts), vecmath.CosineDistanceUnit, 2.0)
+	ct.DeleteMany(slices.Clone(ids)) // 25/80 crosses the rebuild threshold
+	km := NewKMeansTree(slices.Clone(pts), vecmath.CosineDistanceUnit, KMeansTreeConfig{Seed: 3, LeavesRatio: 1.0})
+	km.DeleteMany(slices.Clone(ids))
+
+	for _, idx := range []interface{ Len() int }{bf, grid, ct, km} {
+		if idx.Len() != len(mirror) {
+			t.Fatalf("%T.Len = %d, want %d", idx, idx.Len(), len(mirror))
+		}
+	}
+	for _, q := range mirror[:20] {
+		want := truth.RangeSearch(q, 0.4)
+		if got := bf.RangeSearch(q, 0.4); !equalIDs(got, want) {
+			t.Fatalf("brute force DeleteMany diverged: %v vs %v", got, want)
+		}
+		if got := ct.RangeSearch(q, 0.4); !equalIDs(got, want) {
+			t.Fatalf("cover tree DeleteMany diverged: %v vs %v", got, want)
+		}
+		if got := km.RangeSearchApprox(q, 0.4); !equalIDs(got, want) {
+			t.Fatalf("k-means tree DeleteMany diverged: %v vs %v", got, want)
+		}
+		if got, wantG := grid.ApproxRangeSearch(q, 0.5), gridFresh.ApproxRangeSearch(q, 0.5); !equalIDs(got, wantG) {
+			t.Fatalf("grid DeleteMany diverged: %v vs %v", got, wantG)
+		}
+	}
+	if grid.NumCells() != gridFresh.NumCells() {
+		t.Fatalf("grid cells = %d, want %d", grid.NumCells(), gridFresh.NumCells())
+	}
+}
+
+// TestKMeansTreeRebuildMatchesFresh drives the overlay over the rebuild
+// threshold and checks the rebuilt tree is exactly a fresh build (same
+// configuration, same seed) over the live points.
+func TestKMeansTreeRebuildMatchesFresh(t *testing.T) {
+	pts := clusteredPoints(60, 16, 11)
+	cfg := KMeansTreeConfig{Seed: 2, LeavesRatio: 0.6}
+	km := NewKMeansTree(slices.Clone(pts), vecmath.CosineDistanceUnit, cfg)
+	mirror := slices.Clone(pts)
+	extra := clusteredPoints(40, 16, 12) // 40/100 > 1/4: forces a rebuild
+	km.Insert(extra)
+	mirror = append(mirror, extra...)
+	if km.overlaySize() != 0 {
+		t.Fatalf("overlay not cleared by rebuild: %d", km.overlaySize())
+	}
+	fresh := NewKMeansTree(mirror, vecmath.CosineDistanceUnit, cfg)
+	for _, q := range mirror[:30] {
+		if got, want := km.RangeSearchApprox(q, 0.4), fresh.RangeSearchApprox(q, 0.4); !equalIDs(got, want) {
+			t.Fatalf("rebuilt tree diverged from fresh build: %v vs %v", got, want)
+		}
+	}
+}

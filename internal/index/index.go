@@ -1,13 +1,3 @@
-// Package index provides the range-query and KNN engines the clustering
-// algorithms are built on: a (parallel) brute-force scanner used by DBSCAN,
-// DBSCAN++ and the LAF variants, a cover tree used by BLOCK-DBSCAN, a
-// k-means tree used by KNN-BLOCK DBSCAN, and the sparse grid behind
-// ρ-approximate DBSCAN.
-//
-// All engines operate over a fixed slice of points identified by integer
-// ids. Range semantics follow the paper: a range query with radius eps
-// returns the ids of points with d(q, p) < eps (strict), including the query
-// point itself when it is part of the indexed set.
 package index
 
 import (

@@ -25,6 +25,13 @@ type KMeansTree struct {
 	maxLeaf     int
 	root        *kmNode
 	numLeaves   int
+	// cfg is retained (normalized) so the dynamic rebuild fallback can
+	// reconstruct the tree deterministically; builtLen is how many points
+	// the current tree was built over (points beyond it are the linear
+	// overlay); tomb tracks dynamic deletions.
+	cfg      KMeansTreeConfig
+	builtLen int
+	tomb     tombstones
 }
 
 type kmNode struct {
@@ -63,18 +70,29 @@ func NewKMeansTree(points [][]float32, dist vecmath.DistanceFunc, cfg KMeansTree
 		branching:   cfg.Branching,
 		leavesRatio: cfg.LeavesRatio,
 		maxLeaf:     cfg.MaxLeaf,
+		cfg:         cfg,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	all := make([]int, len(points))
-	for i := range all {
-		all[i] = i
-	}
-	t.root = t.build(all, cfg.Iterations, rng)
+	t.buildTree()
 	return t
 }
 
-// Len returns the number of indexed points.
-func (t *KMeansTree) Len() int { return len(t.points) }
+// buildTree (re)constructs the tree over the current points with the stored
+// configuration. The dynamic rebuild fallback shares it with construction,
+// so a rebuilt tree is identical to a freshly built one over the same
+// points.
+func (t *KMeansTree) buildTree() {
+	t.numLeaves = 0
+	rng := rand.New(rand.NewSource(t.cfg.Seed))
+	all := make([]int, len(t.points))
+	for i := range all {
+		all[i] = i
+	}
+	t.root = t.build(all, t.cfg.Iterations, rng)
+	t.builtLen = len(t.points)
+}
+
+// Len returns the number of indexed (live) points.
+func (t *KMeansTree) Len() int { return len(t.points) - t.tomb.dead }
 
 // NumLeaves returns the number of leaf nodes.
 func (t *KMeansTree) NumLeaves() int { return t.numLeaves }
@@ -230,12 +248,21 @@ func (t *KMeansTree) KNN(q []float32, k int) ([]int, []float64) {
 		if n.members != nil {
 			visited++
 			for _, id := range n.members {
-				cands = append(cands, cand{id, t.dist(q, t.points[id])})
+				if e := t.tomb.extOf(id); e >= 0 {
+					cands = append(cands, cand{e, t.dist(q, t.points[id])})
+				}
 			}
 			continue
 		}
 		for _, c := range n.children {
 			heap.Push(pq, nodeDist{t.dist(q, c.center), c})
+		}
+	}
+	// Points appended since the last rebuild live outside the tree; scan
+	// them exactly (the dynamic overlay, bounded by the rebuild threshold).
+	for i := t.builtLen; i < len(t.points); i++ {
+		if e := t.tomb.extOf(i); e >= 0 {
+			cands = append(cands, cand{e, t.dist(q, t.points[i])})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })

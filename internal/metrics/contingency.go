@@ -1,12 +1,3 @@
-// Package metrics implements the clustering-quality measures used in the
-// paper's evaluation: the Adjusted Rand Index (Hubert & Arabie 1985) and the
-// Adjusted Mutual Information score (Vinh, Epps & Bailey 2010), plus the
-// clustering statistics behind Tables 2 and 6 (noise ratio, cluster counts,
-// fully-missed-cluster analysis).
-//
-// Noise points (label -1 by the conventions of internal/cluster) are treated
-// as a regular singleton-style class of their own when building contingency
-// tables, matching the common scikit-learn usage the paper's scores reflect.
 package metrics
 
 import "fmt"

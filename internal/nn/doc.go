@@ -1,0 +1,7 @@
+// Package nn is a small, dependency-free feed-forward neural network
+// library: dense layers, ReLU/sigmoid/identity activations, mean-squared
+// error, SGD and Adam, and a minibatch training loop with data-parallel
+// gradient computation. It exists because the paper's cardinality estimator
+// (a three-stage RMI of fully-connected regressors) needs a trainable deep
+// model and this repository is stdlib-only.
+package nn

@@ -1,0 +1,11 @@
+// Package rmi implements the Recursive Model Index cardinality estimator
+// the paper uses (Kraska et al. 2018, as deployed for similarity-selection
+// cardinality estimation by Wang et al. 2020). The index has three stages
+// with 1, 2 and 4 fully-connected regression networks from top to bottom;
+// the stage-k model's (bounded) prediction routes the query to one model of
+// stage k+1, and the leaf model's output is the cardinality estimate.
+//
+// Inputs are the query embedding concatenated with the distance threshold;
+// targets are log1p(cardinality) normalized by log1p(n), so every model
+// regresses a value in [0, 1] that doubles as the routing key.
+package rmi

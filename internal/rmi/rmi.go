@@ -1,13 +1,3 @@
-// Package rmi implements the Recursive Model Index cardinality estimator
-// the paper uses (Kraska et al. 2018, as deployed for similarity-selection
-// cardinality estimation by Wang et al. 2020). The index has three stages
-// with 1, 2 and 4 fully-connected regression networks from top to bottom;
-// the stage-k model's (bounded) prediction routes the query to one model of
-// stage k+1, and the leaf model's output is the cardinality estimate.
-//
-// Inputs are the query embedding concatenated with the distance threshold;
-// targets are log1p(cardinality) normalized by log1p(n), so every model
-// regresses a value in [0, 1] that doubles as the routing key.
 package rmi
 
 import (
@@ -25,7 +15,8 @@ type Config struct {
 	StageCounts []int
 	// Hidden is the hidden-layer widths of every model.
 	// The paper uses {512, 512, 256, 128}; the default experiment preset
-	// uses {64, 64, 32, 16} (see DESIGN.md, Substitutions).
+	// uses {64, 64, 32, 16} (a laptop-friendly substitution; the shape of
+	// the results, not absolute seconds, is the reproduction target).
 	Hidden []int
 	// Epochs and BatchSize configure each model's training run.
 	Epochs    int

@@ -1,0 +1,16 @@
+// Package serve turns the lafdbscan library into a long-running clustering
+// service: a dataset registry that loads and normalizes named datasets once
+// and shares their vectors and range-query indexes across requests, an
+// estimator cache that trains each (dataset, EstimatorConfig) RMI exactly
+// once, an asynchronous job engine that runs any clustering method of the
+// library on a bounded worker pool with cancellation and progress, and a
+// model store serving the Fit/Predict lifecycle — fit, predict, persist,
+// and evolve fitted models online through the asynchronous insert/delete
+// maintenance endpoints. cmd/lafserve exposes everything over HTTP JSON.
+//
+// The design follows the paper's own economics one level up: LAF amortizes
+// a learned cardinality estimator across many range queries; a server
+// amortizes datasets, indexes, trained estimators and fitted clusterings
+// across many requests — and, with online maintenance, across an evolving
+// point set too.
+package serve

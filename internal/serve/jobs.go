@@ -63,11 +63,20 @@ type JobSpec struct {
 	Estimator *EstimatorSpec
 }
 
-// Job is one submitted clustering job. All fields are engine-managed;
+// Job is one submitted job — a clustering run, or a model-maintenance
+// update (insert/remove) when exec is set. All fields are engine-managed;
 // callers observe jobs through Status and Result snapshots.
 type Job struct {
 	id   string
 	spec JobSpec
+	// kind tags the job for status displays: "" (clustering) or a
+	// maintenance kind like "model-insert"/"model-remove".
+	kind string
+	// exec, when non-nil, replaces the engine's clustering call: the job
+	// runs this closure under the engine's context (wave progress wired),
+	// inheriting the whole lifecycle — queueing, 429 backpressure,
+	// cancel-within-one-wave, result retention.
+	exec func(ctx context.Context) (*lafdbscan.Result, error)
 
 	// queriesDone counts completed range queries, fed by the wave engines'
 	// progress hook; it is the poll-able progress signal.
@@ -90,7 +99,10 @@ type JobStatus struct {
 	ID      string           `json:"id"`
 	Dataset string           `json:"dataset"`
 	Method  lafdbscan.Method `json:"method"`
-	State   JobState         `json:"state"`
+	// Kind distinguishes model-maintenance jobs ("model-insert",
+	// "model-remove") from plain clustering jobs (omitted).
+	Kind  string   `json:"kind,omitempty"`
+	State JobState `json:"state"`
 	// QueriesDone is the number of range queries completed so far (and
 	// after completion, in total) — the engine's progress measure.
 	QueriesDone int64  `json:"queries_done"`
@@ -111,6 +123,7 @@ func (j *Job) status() JobStatus {
 		ID:              j.id,
 		Dataset:         j.spec.Dataset,
 		Method:          j.spec.Method,
+		Kind:            j.kind,
 		State:           j.state,
 		QueriesDone:     j.queriesDone.Load(),
 		EstimatorCached: j.estimatorCached,
@@ -271,13 +284,32 @@ func (e *Engine) markCanceled(job *Job) {
 	job.mu.Unlock()
 }
 
-// Submit validates and enqueues a job, returning its id immediately. A
-// full queue returns ErrQueueFull (retryable); validation failures return
-// descriptive errors the HTTP layer maps to 400s.
+// Submit validates and enqueues a clustering job, returning its id
+// immediately. A full queue returns ErrQueueFull (retryable); validation
+// failures return descriptive errors the HTTP layer maps to 400s.
 func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	if err := e.validate(&spec); err != nil {
 		return JobStatus{}, err
 	}
+	return e.enqueue(&Job{spec: spec})
+}
+
+// SubmitFunc enqueues a custom job — the model insert/delete endpoints'
+// path — under the same backpressure, cancellation and retention contract
+// as clustering jobs. dataset and method label the job for listings; kind
+// tags it (e.g. "model-insert"). exec runs on a worker slot with a context
+// that cancels on DELETE /v1/jobs/{id} and carries the wave-progress hook,
+// so queries_done progress works for maintenance exactly as for fits.
+func (e *Engine) SubmitFunc(dataset string, method lafdbscan.Method, kind string, exec func(ctx context.Context) (*lafdbscan.Result, error)) (JobStatus, error) {
+	return e.enqueue(&Job{
+		spec: JobSpec{Dataset: dataset, Method: method},
+		kind: kind,
+		exec: exec,
+	})
+}
+
+// enqueue stamps and queues a prepared job under the engine lock.
+func (e *Engine) enqueue(job *Job) (JobStatus, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -288,12 +320,9 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, ErrQueueFull
 	}
 	e.seq++
-	job := &Job{
-		id:      fmt.Sprintf("j-%06d", e.seq),
-		spec:    spec,
-		state:   JobQueued,
-		created: time.Now(),
-	}
+	job.id = fmt.Sprintf("j-%06d", e.seq)
+	job.state = JobQueued
+	job.created = time.Now()
 	e.pending = append(e.pending, job)
 	e.jobs[job.id] = job
 	e.order = append(e.order, job.id)
@@ -562,8 +591,13 @@ func (e *Engine) runJob(job *Job) {
 
 // execute resolves the job's shared resources — dataset vectors, the
 // per-(dataset, metric) index, the cached estimator — wires the progress
-// hook, and runs the clustering call.
+// hook, and runs the clustering call. Custom jobs (SubmitFunc) skip
+// resolution and run their closure under the hooked context directly.
 func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, error) {
+	if job.exec != nil {
+		ctx = index.WithWaveProgress(ctx, func(q int) { job.queriesDone.Add(int64(q)) })
+		return job.exec(ctx)
+	}
 	spec := job.spec
 	ds, err := e.reg.Get(spec.Dataset)
 	if err != nil {

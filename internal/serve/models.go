@@ -32,25 +32,38 @@ type ModelInfo struct {
 	Clusters     int    `json:"clusters"`
 	Cores        int    `json:"cores"`
 	HasEstimator bool   `json:"has_estimator"`
+	// Updates counts the point mutations (inserts plus removals) applied
+	// to the model; Staleness counts them since its estimator was last
+	// (re)trained — the drift signal behind retraining decisions.
+	Updates   int64 `json:"updates"`
+	Staleness int   `json:"staleness"`
 	// Source records how the model entered the store ("fit" or "loaded").
 	Source  string    `json:"source"`
 	Created time.Time `json:"created"`
 }
 
-// ModelStoreStats is the store's /stats view.
+// ModelStoreStats is the store's /stats view. The update counters
+// aggregate across models: Inserts/Removes count maintenance operations,
+// PointsInserted/PointsRemoved the points they moved.
 type ModelStoreStats struct {
-	Models      int   `json:"models"`
-	Capacity    int   `json:"capacity"`
-	Fitted      int64 `json:"fitted"`
-	Loaded      int64 `json:"loaded"`
-	Deleted     int64 `json:"deleted"`
-	Predictions int64 `json:"predictions"`
+	Models         int   `json:"models"`
+	Capacity       int   `json:"capacity"`
+	Fitted         int64 `json:"fitted"`
+	Loaded         int64 `json:"loaded"`
+	Deleted        int64 `json:"deleted"`
+	Predictions    int64 `json:"predictions"`
+	Inserts        int64 `json:"inserts"`
+	Removes        int64 `json:"removes"`
+	PointsInserted int64 `json:"points_inserted"`
+	PointsRemoved  int64 `json:"points_removed"`
 }
 
-// ModelStore holds fitted and uploaded clustering models by id. Models are
-// immutable, so concurrent predictions share an entry without copying; the
-// store only guards the id map. A fixed capacity bounds the memory held in
-// training vectors (each model retains its points).
+// ModelStore holds fitted and uploaded clustering models by id. Models
+// guard their own state (predictions share a read lock, maintenance
+// updates serialize behind a write lock), so entries are shared without
+// copying and the store only guards the id map and the listed info
+// snapshots. A fixed capacity bounds the memory held in training vectors
+// (each model retains its points).
 type ModelStore struct {
 	mu      sync.Mutex
 	entries map[string]*modelEntry
@@ -62,6 +75,11 @@ type ModelStore struct {
 	loaded      atomic.Int64
 	deleted     atomic.Int64
 	predictions atomic.Int64
+
+	inserts        atomic.Int64
+	removes        atomic.Int64
+	pointsInserted atomic.Int64
+	pointsRemoved  atomic.Int64
 }
 
 type modelEntry struct {
@@ -99,6 +117,8 @@ func (s *ModelStore) Add(model *lafdbscan.Model, dataset, source string) (ModelI
 		Clusters:     model.NumClusters(),
 		Cores:        model.NumCores(),
 		HasEstimator: model.HasEstimator(),
+		Updates:      model.Updates(),
+		Staleness:    model.Staleness(),
 		Source:       source,
 		Created:      time.Now(),
 	}
@@ -166,17 +186,52 @@ func (s *ModelStore) Full() bool {
 // successful predict request).
 func (s *ModelStore) CountPrediction() { s.predictions.Add(1) }
 
+// CountUpdate records a completed maintenance operation: one insert or
+// remove moving the given number of points.
+func (s *ModelStore) CountUpdate(kind string, points int) {
+	if kind == "model-insert" {
+		s.inserts.Add(1)
+		s.pointsInserted.Add(int64(points))
+	} else {
+		s.removes.Add(1)
+		s.pointsRemoved.Add(int64(points))
+	}
+}
+
+// RefreshInfo re-snapshots a model's listed totals (points, clusters,
+// cores, update counters) after a maintenance operation. A missing id is a
+// no-op: the model may have been deleted while its update job ran.
+func (s *ModelStore) RefreshInfo(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return
+	}
+	m := e.model
+	e.info.Points = m.Len()
+	e.info.Clusters = m.NumClusters()
+	e.info.Cores = m.NumCores()
+	e.info.HasEstimator = m.HasEstimator()
+	e.info.Updates = m.Updates()
+	e.info.Staleness = m.Staleness()
+}
+
 // Stats returns the store counters.
 func (s *ModelStore) Stats() ModelStoreStats {
 	s.mu.Lock()
 	models := len(s.entries)
 	s.mu.Unlock()
 	return ModelStoreStats{
-		Models:      models,
-		Capacity:    s.cap,
-		Fitted:      s.fitted.Load(),
-		Loaded:      s.loaded.Load(),
-		Deleted:     s.deleted.Load(),
-		Predictions: s.predictions.Load(),
+		Models:         models,
+		Capacity:       s.cap,
+		Fitted:         s.fitted.Load(),
+		Loaded:         s.loaded.Load(),
+		Deleted:        s.deleted.Load(),
+		Predictions:    s.predictions.Load(),
+		Inserts:        s.inserts.Load(),
+		Removes:        s.removes.Load(),
+		PointsInserted: s.pointsInserted.Load(),
+		PointsRemoved:  s.pointsRemoved.Load(),
 	}
 }

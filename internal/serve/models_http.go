@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"lafdbscan"
-	"lafdbscan/internal/dataset"
 )
 
 // This file is the HTTP face of the model store: fit, inspect, delete,
@@ -187,26 +186,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	var vectors [][]float32
-	switch {
-	case len(req.Vectors) > 0 && req.Dataset == "":
-		ds := &dataset.Dataset{Name: "predict", Vectors: req.Vectors}
-		if err := ds.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: %w", err))
-			return
-		}
-		ds.Normalize()
-		vectors = ds.Vectors
-	case req.Dataset != "" && len(req.Vectors) == 0:
-		ds, derr := s.reg.Get(req.Dataset)
-		if derr != nil {
-			writeError(w, statusFor(derr), derr)
-			return
-		}
-		vectors = ds.Vectors
-	default:
-		writeError(w, http.StatusBadRequest,
-			errors.New("serve: exactly one of vectors or dataset is required"))
+	vectors, err := s.resolveVectors(req.Vectors, req.Dataset)
+	if err != nil {
+		writeError(w, statusFor(err), err)
 		return
 	}
 	if dim := len(vectors[0]); dim != model.Dim() {

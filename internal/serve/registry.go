@@ -1,14 +1,3 @@
-// Package serve turns the lafdbscan library into a long-running clustering
-// service: a dataset registry that loads and normalizes named datasets once
-// and shares their vectors and range-query indexes across requests, an
-// estimator cache that trains each (dataset, EstimatorConfig) RMI exactly
-// once, and an asynchronous job engine that runs any clustering method of
-// the library on a bounded worker pool with cancellation and progress.
-// cmd/lafserve exposes all three over HTTP JSON.
-//
-// The design follows the paper's own economics one level up: LAF amortizes
-// a learned cardinality estimator across many range queries; a server
-// amortizes datasets, indexes and trained estimators across many requests.
 package serve
 
 import (

@@ -29,6 +29,8 @@ import (
 //	GET    /v1/models/{id}/save  download the model's binary serialization
 //	POST   /v1/models/load       upload a serialized model (binary body)
 //	POST   /v1/models/{id}/predict  assign vectors to the model's clusters
+//	POST   /v1/models/{id}/insert   async: fold new vectors into the clustering (202, job id)
+//	POST   /v1/models/{id}/delete   async: drop point ids from the clustering (202, job id)
 //	GET    /v1/stats             registry / cache / engine / model counters
 //	GET    /v1/healthz           liveness
 type Server struct {
@@ -94,6 +96,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
 	s.mux.HandleFunc("GET /v1/models/{id}/save", s.handleSaveModel)
 	s.mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/models/{id}/insert", s.handleInsertModel)
+	s.mux.HandleFunc("POST /v1/models/{id}/delete", s.handleRemovePoints)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

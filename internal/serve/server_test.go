@@ -236,7 +236,73 @@ func TestServerSmoke(t *testing.T) {
 		}
 	}
 
-	// 10. /stats reflects the cache amortization and the model activity.
+	// 10. Online maintenance: insert new vectors into the stored model
+	// through the async endpoint and pin the evolved labeling against a
+	// fresh library fit on the grown point set — the incremental engine's
+	// equality contract, exercised over the full serving stack.
+	const grow = 20
+	inserted := ds.Vectors[:grow] // duplicates are valid points
+	code, body = postJSON(t, base+"/v1/models/"+modelID+"/insert", map[string]any{
+		"vectors": inserted,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("insert: %d %v", code, body)
+	}
+	insertJob := body["id"].(string)
+	if body["kind"].(string) != "model-insert" {
+		t.Errorf("insert job kind = %v, want model-insert", body["kind"])
+	}
+	for {
+		code, body = getJSON(t, base+"/v1/jobs/"+insertJob)
+		if code != http.StatusOK {
+			t.Fatalf("insert status: %d %v", code, body)
+		}
+		state = body["state"].(string)
+		if state == "done" || state == "failed" || state == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("insert job stuck in %q", state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("insert job ended %q: %v", state, body["error"])
+	}
+	code, body = getJSON(t, base+"/v1/models/"+modelID)
+	if code != http.StatusOK {
+		t.Fatalf("model info: %d %v", code, body)
+	}
+	if got := body["points"].(float64); got != float64(n+grow) {
+		t.Errorf("model points after insert = %v, want %d", got, n+grow)
+	}
+	if got := body["updates"].(float64); got != grow {
+		t.Errorf("model updates = %v, want %d", got, grow)
+	}
+	code, body = getJSON(t, base+"/v1/jobs/"+insertJob+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("insert result: %d %v", code, body)
+	}
+	rawGrown := body["labels"].([]any)
+	grown := make([]int, len(rawGrown))
+	for i, v := range rawGrown {
+		grown[i] = int(v.(float64))
+	}
+	grownPts := append(append([][]float32{}, ds.Vectors...), inserted...)
+	wantGrown, err := lafdbscan.Cluster(grownPts, lafdbscan.MethodLAFDBSCAN, lafdbscan.Params{
+		Eps: 0.55, Tau: 5, Alpha: 1.2, Seed: 3, Workers: 2, Estimator: est,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantGrown.Labels {
+		if grown[i] != wantGrown.Labels[i] {
+			t.Fatalf("post-insert label[%d] = %d, fresh library fit %d", i, grown[i], wantGrown.Labels[i])
+		}
+	}
+
+	// 11. /stats reflects the cache amortization, the model activity and
+	// the maintenance counters.
 	code, body = getJSON(t, base+"/v1/stats")
 	if code != http.StatusOK {
 		t.Fatalf("stats: %d %v", code, body)
@@ -249,7 +315,11 @@ func TestServerSmoke(t *testing.T) {
 	if models["predictions"].(float64) < 2 {
 		t.Errorf("model predictions = %v, want >= 2", models["predictions"])
 	}
-	t.Logf("smoke OK: ARI=1.0, estimator cache %v, jobs %v, models %v", cache, body["jobs"], models)
+	if models["inserts"].(float64) < 1 || models["points_inserted"].(float64) < grow {
+		t.Errorf("update counters not reflected in stats: %v", models)
+	}
+	t.Logf("smoke OK: ARI=1.0 (job + post-insert), estimator cache %v, jobs %v, models %v",
+		cache, body["jobs"], models)
 }
 
 // TestServerHTTPStatusMapping pins the error contract of the HTTP layer:

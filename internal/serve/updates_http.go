@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lafdbscan"
+	"lafdbscan/internal/dataset"
+)
+
+// This file is the HTTP face of online model maintenance: the insert and
+// delete endpoints evolve a stored model with the data instead of
+// re-fitting it. Updates are asynchronous through the job engine — the
+// same bounded worker pool, 429 backpressure, queries_done progress and
+// cancel-within-one-wave contract as clustering jobs — because an update's
+// cost scales with the changed neighborhoods, which on a large model is
+// still real work. The job's result is the model's post-update labeling,
+// fetchable from /v1/jobs/{id}/result like any clustering result; the
+// model is resolved from the store again inside the job, so deleting it
+// while an update is queued fails the job instead of mutating an orphan.
+
+// resolveVectors extracts the vectors of a request that supplies either
+// inline vectors (normalized server-side, like dataset ingestion) or the
+// name of a registered dataset — exactly one of the two.
+func (s *Server) resolveVectors(inline [][]float32, dsName string) ([][]float32, error) {
+	switch {
+	case len(inline) > 0 && dsName == "":
+		ds := &dataset.Dataset{Name: "inline", Vectors: inline}
+		if err := ds.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		ds.Normalize()
+		return ds.Vectors, nil
+	case dsName != "" && len(inline) == 0:
+		ds, err := s.reg.Get(dsName)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Vectors, nil
+	default:
+		return nil, errors.New("serve: exactly one of vectors or dataset is required")
+	}
+}
+
+// submitModelUpdate enqueues a maintenance closure for a stored model
+// under the job engine's contract, answering 202 with the job status or
+// 429 with Retry-After on a full queue.
+func (s *Server) submitModelUpdate(w http.ResponseWriter, info ModelInfo, kind string,
+	update func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error)) {
+	id := info.ID
+	status, err := s.eng.SubmitFunc(info.Dataset, lafdbscan.Method(info.Method), kind,
+		func(ctx context.Context) (*lafdbscan.Result, error) {
+			model, _, err := s.models.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			report, err := update(ctx, model)
+			if err != nil {
+				return nil, err
+			}
+			s.models.CountUpdate(kind, report.Inserted+report.Removed)
+			s.models.RefreshInfo(id)
+			return model.Result(), nil
+		})
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, status)
+}
+
+// handleInsertModel is POST /v1/models/{id}/insert: asynchronously fold
+// new vectors (inline, normalized server-side, or a registered dataset)
+// into the model's clustering. The model is untouched until the job
+// commits; cancellation aborts within one wave and leaves it untouched
+// too.
+func (s *Server) handleInsertModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	model, info, err := s.models.Get(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	var req struct {
+		Vectors [][]float32 `json:"vectors,omitempty"`
+		Dataset string      `json:"dataset,omitempty"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	vectors, err := s.resolveVectors(req.Vectors, req.Dataset)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if dim := len(vectors[0]); dim != model.Dim() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: insert vectors have %d dims, model %s has %d", dim, id, model.Dim()))
+		return
+	}
+	s.submitModelUpdate(w, info, "model-insert",
+		func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error) {
+			return m.Insert(ctx, vectors)
+		})
+}
+
+// handleRemovePoints is POST /v1/models/{id}/delete: asynchronously drop
+// the given point ids from the model's clustering (ids compact, matching
+// the model's documented convention). Distinct from DELETE /v1/models/{id},
+// which discards the whole model.
+func (s *Server) handleRemovePoints(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	model, info, err := s.models.Get(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	var req struct {
+		IDs []int `json:"ids"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: ids is required and must be non-empty"))
+		return
+	}
+	// Cheap pre-check against the current size; the model re-validates
+	// authoritatively (with range and duplicate checks) inside the job.
+	if n := model.Len(); len(req.IDs) >= n {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: cannot remove %d of the model's %d points", len(req.IDs), n))
+		return
+	}
+	s.submitModelUpdate(w, info, "model-remove",
+		func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error) {
+			return m.Remove(ctx, req.IDs)
+		})
+}

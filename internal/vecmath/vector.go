@@ -1,11 +1,3 @@
-// Package vecmath provides the dense float32 vector kernels used across the
-// LAF-DBSCAN repository: dot products, norms, normalization and the angular
-// (cosine) and Euclidean distance functions the paper's clustering
-// algorithms are built on.
-//
-// Vectors are []float32 to match the memory profile of neural embeddings;
-// all reductions accumulate in float64 so that 768-dimensional sums keep
-// enough precision for threshold comparisons near the DBSCAN radius.
 package vecmath
 
 import (

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"slices"
+	"sync"
 
 	"lafdbscan/internal/index"
 	"lafdbscan/internal/vecmath"
@@ -86,13 +87,27 @@ func WithIndex(idx RangeIndex) FitOption { return func(p *Params) { p.Index = id
 // index, and (for the LAF methods) the trained estimator. Where Cluster
 // throws these away after labeling one batch, a Model keeps them so new
 // points can be assigned to the existing clusters in O(one range query)
-// each (Predict), and so the whole thing can be persisted (Save/LoadModel)
-// and served (lafserve's /v1/models).
+// each (Predict), so the clustering can evolve with the data through
+// Insert and Remove without re-clustering from scratch, and so the whole
+// thing can be persisted (Save/LoadModel) and served (lafserve's
+// /v1/models).
 //
-// A Model is immutable after Fit; all methods are safe for concurrent use.
+// # Concurrency
+//
+// All methods are safe for concurrent use. Reads — Predict, Labels, Save
+// and every other accessor — run under a shared read lock and may proceed
+// concurrently with each other; Insert and Remove take the write lock, so
+// mutations serialize and a concurrent Predict observes either the state
+// before an update or the state after it, never a half-applied one. A
+// mutation that fails (context cancellation included) leaves the model
+// exactly as it was: all range queries run before any state is touched.
 type Model struct {
 	method Method
 	params Params // effective values (LAF's Alpha default resolved)
+
+	// mu orders reads (RLock: Predict, accessors, Save) against the
+	// write-locked mutations (Insert, Remove, SetRetrainPolicy).
+	mu     sync.RWMutex
 	points [][]float32
 	labels []int
 	core   []bool
@@ -102,6 +117,16 @@ type Model struct {
 	coreIDs []int
 	index   RangeIndex
 	result  *Result
+
+	// inc is the incremental-maintenance overlay, built lazily by the
+	// first Insert or Remove (see model_incremental.go).
+	inc *incState
+	// updates counts applied point mutations over the model's lifetime
+	// (persisted); staleness counts them since the last estimator
+	// (re)train, driving the RetrainPolicy.
+	updates   int64
+	staleness int
+	retrain   RetrainPolicy
 }
 
 // Fit clusters points with the named method and returns the fitted model.
@@ -127,12 +152,9 @@ func FitParams(ctx context.Context, points [][]float32, m Method, p Params) (*Mo
 		return nil, err
 	}
 	// The driver's range queries and the model's prediction queries must
-	// run under the same metric. Only DBSCAN and LAF-DBSCAN honor
-	// Params.Metric; every other method is hardwired to cosine distance.
-	metric := MetricCosine
-	if m == MethodDBSCAN || m == MethodLAFDBSCAN {
-		metric = p.Metric
-	}
+	// run under the same metric (modelMetric: only DBSCAN and LAF-DBSCAN
+	// honor Params.Metric; every other method is hardwired to cosine).
+	metric := modelMetric(m, p.Metric)
 	// The specialized methods (KNN-BLOCK, BLOCK-DBSCAN, ρ-approximate)
 	// build their own structures and never see p.Index; prediction still
 	// needs a plain range index over the training points, so one is built
@@ -189,45 +211,110 @@ func newModel(m Method, p Params, points [][]float32, res *Result) *Model {
 // Method returns the clustering method the model was fitted with.
 func (m *Model) Method() Method { return m.method }
 
-// Params returns the effective fit parameters (Estimator and Index
-// included; LAF's Alpha default resolved to 1).
-func (m *Model) Params() Params { return m.params }
+// Params returns the effective fit parameters (Estimator included; LAF's
+// Alpha default resolved to 1). Index is the fitted range index until the
+// first Insert/Remove; after that the model's index is privately owned and
+// mutated under its lock, so Index is nil — a refit from these parameters
+// builds its own equivalent index.
+func (m *Model) Params() Params {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.params
+}
 
-// Len returns the number of training points.
-func (m *Model) Len() int { return len(m.points) }
+// Len returns the current number of model points (training points plus
+// inserted minus removed).
+func (m *Model) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.points)
+}
 
-// Dim returns the training points' dimensionality.
+// Dim returns the points' dimensionality.
 func (m *Model) Dim() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.dimLocked()
+}
+
+func (m *Model) dimLocked() int {
 	if len(m.points) == 0 {
 		return 0
 	}
 	return len(m.points[0])
 }
 
-// NumClusters returns the number of fitted clusters.
-func (m *Model) NumClusters() int { return m.result.NumClusters }
+// NumClusters returns the current number of clusters.
+func (m *Model) NumClusters() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.result.NumClusters
+}
 
-// NumCores returns the number of core points.
-func (m *Model) NumCores() int { return len(m.coreIDs) }
+// NumCores returns the current number of core points.
+func (m *Model) NumCores() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.coreIDs)
+}
 
-// Labels returns a copy of the fitted labels.
-func (m *Model) Labels() []int { return slices.Clone(m.labels) }
+// Labels returns a copy of the current labels.
+func (m *Model) Labels() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return slices.Clone(m.labels)
+}
 
-// CoreMask returns a copy of the core-point mask.
-func (m *Model) CoreMask() []bool { return slices.Clone(m.core) }
+// CoreMask returns a copy of the current core-point mask.
+func (m *Model) CoreMask() []bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return slices.Clone(m.core)
+}
 
 // Forest returns a copy of the canonical cluster forest: the minimum-index
 // core point of each core point's cluster, -1 for non-core points.
-func (m *Model) Forest() []int32 { return slices.Clone(m.forest) }
+func (m *Model) Forest() []int32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return slices.Clone(m.forest)
+}
 
-// Result returns the fit result (for loaded models, a reconstruction
-// carrying labels, cores, forest and cluster count but no timings).
-func (m *Model) Result() *Result { return m.result }
+// Result returns the current result snapshot (for loaded models, a
+// reconstruction carrying labels, cores, forest and cluster count but no
+// timings). Mutations replace the snapshot rather than editing it, so a
+// returned Result is stable even while the model keeps evolving.
+func (m *Model) Result() *Result {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.result
+}
 
 // HasEstimator reports whether the model carries a cardinality estimator
 // (fitted LAF models always do; loaded models only when the estimator was
 // serializable).
-func (m *Model) HasEstimator() bool { return m.params.Estimator != nil }
+func (m *Model) HasEstimator() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.params.Estimator != nil
+}
+
+// Updates returns the total number of point mutations (inserts plus
+// removals) applied to the model over its lifetime; the counter survives
+// Save/LoadModel round trips.
+func (m *Model) Updates() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.updates
+}
+
+// Staleness returns the number of point mutations applied since the
+// estimator was (re)trained — the drift signal the RetrainPolicy consumes.
+func (m *Model) Staleness() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.staleness
+}
 
 // PredictOptions tunes Predict.
 type PredictOptions struct {
@@ -269,6 +356,8 @@ func (m *Model) Predict(ctx context.Context, vectors [][]float32) ([]int, error)
 // PredictWithOptions is Predict with the LAF gate available; skipped
 // reports how many range queries the gate elided.
 func (m *Model) PredictWithOptions(ctx context.Context, vectors [][]float32, o PredictOptions) (labels []int, skipped int, err error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	labels = make([]int, len(vectors))
 	queries := vectors
 	qmap := []int(nil) // queries[k] predicts labels[qmap[k]] (nil: identity)
@@ -370,7 +459,12 @@ func (m *Model) nearestCoreLabel(q []float32, ids []int) int {
 // decoder so future layout changes stay loadable side by side.
 var modelMagic = [4]byte{'L', 'A', 'F', 'M'}
 
-const modelVersion uint32 = 1
+// modelVersion is the current write version. Version 1 was the PR 4
+// layout; version 2 added the Updates mutation counter (incremental
+// maintenance). Gob ignores fields absent from the wire, so one decoder
+// reads both versions; the explicit number still gates truly incompatible
+// future layouts.
+const modelVersion uint32 = 2
 
 // modelParamsV1 is the persistable subset of Params (Estimator and Index
 // travel separately or are rebuilt on load).
@@ -392,7 +486,9 @@ type modelParamsV1 struct {
 	WaveSize              int
 }
 
-// modelPayloadV1 is the version-1 gob payload following the binary header.
+// modelPayloadV1 is the gob payload following the binary header, shared by
+// versions 1 and 2: version 2 writes the additional Updates field, which
+// gob leaves zero when decoding a version-1 stream.
 type modelPayloadV1 struct {
 	Method      string
 	Algorithm   string
@@ -407,6 +503,8 @@ type modelPayloadV1 struct {
 	// loaded model predicts ungated.
 	HasEstimator bool
 	Estimator    estimatorPayload
+	// Updates is the model's lifetime mutation counter (version 2).
+	Updates int64
 }
 
 // Save writes the model to w: a fixed binary header (magic "LAFM" plus a
@@ -415,6 +513,8 @@ type modelPayloadV1 struct {
 // through internal/rmi's wire format when one is attached. A load of the
 // written bytes predicts identically to the in-memory model.
 func (m *Model) Save(w io.Writer) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if _, err := w.Write(modelMagic[:]); err != nil {
 		return err
 	}
@@ -443,6 +543,7 @@ func (m *Model) Save(w io.Writer) error {
 		Core:        m.core,
 		Forest:      m.forest,
 		NumClusters: m.result.NumClusters,
+		Updates:     m.updates,
 	}
 	if est := m.params.Estimator; est != nil {
 		switch ep, err := marshalEstimator(est); {
@@ -489,7 +590,9 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("lafdbscan: reading model version: %w", err)
 	}
 	switch version {
-	case 1:
+	case 1, 2:
+		// One decoder serves both: version 2 only added fields, which gob
+		// zeroes when absent from a version-1 stream.
 		return loadModelV1(r)
 	default:
 		// Future versions slot in above; refusing unknown ones here keeps
@@ -498,7 +601,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 	}
 }
 
-// loadModelV1 decodes the version-1 payload.
+// loadModelV1 decodes the version-1/2 payload.
 func loadModelV1(r io.Reader) (*Model, error) {
 	var payload modelPayloadV1
 	if err := gob.NewDecoder(r).Decode(&payload); err != nil {
@@ -537,11 +640,7 @@ func loadModelV1(r io.Reader) (*Model, error) {
 	for i, l := range payload.Labels {
 		labels[i] = int(l)
 	}
-	metric := MetricCosine
-	if m == MethodDBSCAN || m == MethodLAFDBSCAN {
-		metric = p.Metric
-	}
-	p.Index = NewBruteForceIndex(payload.Points, metric)
+	p.Index = NewBruteForceIndex(payload.Points, modelMetric(m, p.Metric))
 	res := &Result{
 		Algorithm:   payload.Algorithm,
 		Labels:      labels,
@@ -549,7 +648,9 @@ func loadModelV1(r io.Reader) (*Model, error) {
 		Core:        payload.Core,
 		Forest:      payload.Forest,
 	}
-	return newModel(m, p, payload.Points, res), nil
+	model := newModel(m, p, payload.Points, res)
+	model.updates = payload.Updates
+	return model, nil
 }
 
 // LoadModelFile reads a model from a file.

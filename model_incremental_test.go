@@ -1,0 +1,592 @@
+package lafdbscan
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// incrementalEngines enumerates the traversal-engine configurations whose
+// Insert/Remove results are pinned bit-identical to a fresh Fit on the
+// resulting point set: DBSCAN under the sequential and the parallel wave
+// engine, LAF-DBSCAN under both engines with post-processing disabled, and
+// LAF-DBSCAN under the parallel engines' complete partial-neighbor map
+// with post-processing enabled.
+func incrementalEngines(points [][]float32) []struct {
+	name   string
+	method Method
+	params Params
+} {
+	est := ExactEstimator(points)
+	return []struct {
+		name   string
+		method Method
+		params Params
+	}{
+		{"dbscan-sequential", MethodDBSCAN, Params{Eps: 0.4, Tau: 4}},
+		{"dbscan-parallel-wave", MethodDBSCAN, Params{Eps: 0.4, Tau: 4, Workers: 2, WaveSize: 7}},
+		{"laf-sequential-nopp", MethodLAFDBSCAN, Params{Eps: 0.4, Tau: 4, Alpha: 1.2, Estimator: est, Seed: 7, DisablePostProcessing: true}},
+		{"laf-parallel-nopp", MethodLAFDBSCAN, Params{Eps: 0.4, Tau: 4, Alpha: 1.2, Estimator: est, Seed: 7, Workers: 2, DisablePostProcessing: true}},
+		{"laf-parallel-pp", MethodLAFDBSCAN, Params{Eps: 0.4, Tau: 4, Alpha: 1.2, Estimator: est, Seed: 7, Workers: 2, WaveSize: 16}},
+	}
+}
+
+// assertMatchesFreshFit pins the equality contract: the mutated model's
+// labels, cores and forest are bit-identical (and ARI == 1.0) to a fresh
+// Fit on its current point set with the model's own parameters.
+func assertMatchesFreshFit(t *testing.T, model *Model, stage string) {
+	t.Helper()
+	fresh, err := FitParams(context.Background(), model.snapshotPoints(), model.Method(), model.Params())
+	if err != nil {
+		t.Fatalf("%s: fresh fit: %v", stage, err)
+	}
+	got, want := model.Labels(), fresh.Labels()
+	if !slices.Equal(got, want) {
+		ari, _ := ARI(want, got)
+		t.Fatalf("%s: labels diverged from fresh fit (ARI %.4f)\n got: %v\nwant: %v", stage, ari, head(got), head(want))
+	}
+	if ari, _ := ARI(want, got); ari != 1.0 {
+		t.Fatalf("%s: ARI = %v, want 1.0", stage, ari)
+	}
+	if !slices.Equal(model.CoreMask(), fresh.CoreMask()) {
+		t.Fatalf("%s: core mask diverged from fresh fit", stage)
+	}
+	if !slices.Equal(model.Forest(), fresh.Forest()) {
+		t.Fatalf("%s: forest diverged from fresh fit", stage)
+	}
+	if model.NumClusters() != fresh.NumClusters() {
+		t.Fatalf("%s: clusters = %d, fresh fit has %d", stage, model.NumClusters(), fresh.NumClusters())
+	}
+}
+
+// snapshotPoints exposes the model's current point slice for the fresh-fit
+// comparison (a copy, so the fresh fit cannot alias model state).
+func (m *Model) snapshotPoints() [][]float32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return slices.Clone(m.points)
+}
+
+func head(labels []int) []int {
+	if len(labels) > 24 {
+		return labels[:24]
+	}
+	return labels
+}
+
+// TestInsertMatchesFreshFit grows every pinned engine's model in uneven
+// batches drawn from the same mixture and checks bit-identity against
+// refitting after each batch — covering border promotion, new clusters and
+// cluster growth in one sweep.
+func TestInsertMatchesFreshFit(t *testing.T) {
+	d := GenerateMixture("inc-insert", MixtureConfig{
+		N: 420, Dim: 32, Clusters: 5, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 41,
+	})
+	base, rest := d.Vectors[:300], d.Vectors[300:]
+	for _, eng := range incrementalEngines(d.Vectors) {
+		t.Run(eng.name, func(t *testing.T) {
+			model, err := FitParams(context.Background(), slices.Clone(base), eng.method, eng.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, batch := range [][][]float32{rest[:1], rest[1:40], rest[40:]} {
+				rep, err := model.Insert(context.Background(), batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Inserted != len(batch) {
+					t.Fatalf("report.Inserted = %d, want %d", rep.Inserted, len(batch))
+				}
+				assertMatchesFreshFit(t, model, fmt.Sprintf("after +%d", len(batch)))
+			}
+			if model.Len() != len(d.Vectors) {
+				t.Fatalf("Len = %d, want %d", model.Len(), len(d.Vectors))
+			}
+			if model.Updates() != int64(len(rest)) {
+				t.Fatalf("Updates = %d, want %d", model.Updates(), len(rest))
+			}
+		})
+	}
+}
+
+// TestRemoveMatchesFreshFit removes core, border and noise points (single
+// and batched) from every pinned engine's model and checks bit-identity
+// against refitting on the compacted set — demotions and id compaction
+// included.
+func TestRemoveMatchesFreshFit(t *testing.T) {
+	d := GenerateMixture("inc-remove", MixtureConfig{
+		N: 380, Dim: 32, Clusters: 5, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.25, Seed: 43,
+	})
+	for _, eng := range incrementalEngines(d.Vectors) {
+		t.Run(eng.name, func(t *testing.T) {
+			model, err := FitParams(context.Background(), slices.Clone(d.Vectors), eng.method, eng.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One core point, then a spread batch hitting borders and noise.
+			coreID := slices.Index(model.CoreMask(), true)
+			if _, err := model.Remove(context.Background(), []int{coreID}); err != nil {
+				t.Fatal(err)
+			}
+			assertMatchesFreshFit(t, model, "after removing one core")
+			rng := rand.New(rand.NewSource(5))
+			batch := rng.Perm(model.Len())[:40]
+			rep, err := model.Remove(context.Background(), batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Removed != 40 {
+				t.Fatalf("report.Removed = %d, want 40", rep.Removed)
+			}
+			assertMatchesFreshFit(t, model, "after removing 40")
+		})
+	}
+}
+
+// chainPoints places points on the unit circle at fixed angular steps: a
+// single ε-chain whose interior points are articulation points, the
+// sharpest merge/split geometry there is.
+func chainPoints(n int, step float64) [][]float32 {
+	pts := make([][]float32, n)
+	for i := range pts {
+		a := float64(i) * step
+		pts[i] = []float32{float32(math.Cos(a)), float32(math.Sin(a))}
+	}
+	return pts
+}
+
+// TestRemoveSplitsCluster pins split detection exactly: removing the middle
+// of an ε-chain must split it into two clusters, bit-identical to a fresh
+// fit on the remaining points.
+func TestRemoveSplitsCluster(t *testing.T) {
+	step := 0.18 // cosine distance between neighbors 1-cos(0.18) ≈ 0.016
+	pts := chainPoints(11, step)
+	eps := 0.02 // adjacent points connect, next-nearest do not
+	// Tau 3: interior points (self + 2 neighbors) are core, chain ends are
+	// borders, so removing an interior point demotes its two neighbors.
+	model, err := Fit(context.Background(), slices.Clone(pts), MethodDBSCAN, WithEps(eps), WithTau(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumClusters() != 1 {
+		t.Fatalf("chain fit has %d clusters, want 1", model.NumClusters())
+	}
+	rep, err := model.Remove(context.Background(), []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumClusters() != 2 {
+		t.Fatalf("removing the articulation point left %d clusters, want 2", model.NumClusters())
+	}
+	if rep.Demoted == 0 {
+		t.Fatalf("expected demotions around the removed articulation point, got none")
+	}
+	assertMatchesFreshFit(t, model, "after split")
+}
+
+// TestInsertMergesClusters pins the merge path: re-inserting the bridge
+// point must reunite the halves, again bit-identical to a fresh fit.
+func TestInsertMergesClusters(t *testing.T) {
+	step := 0.18
+	pts := chainPoints(11, step)
+	bridge := pts[5]
+	broken := slices.Clone(pts)
+	broken = slices.Delete(broken, 5, 6)
+	model, err := Fit(context.Background(), broken, MethodDBSCAN, WithEps(0.02), WithTau(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumClusters() != 2 {
+		t.Fatalf("broken chain has %d clusters, want 2", model.NumClusters())
+	}
+	rep, err := model.Insert(context.Background(), [][]float32{bridge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumClusters() != 1 {
+		t.Fatalf("bridge insert left %d clusters, want 1", model.NumClusters())
+	}
+	if rep.Promoted == 0 {
+		t.Fatalf("expected chain-end promotions from the bridge insert, got none")
+	}
+	assertMatchesFreshFit(t, model, "after merge")
+}
+
+// TestInsertMassPromotion pins the bulk-promotion path under the parallel
+// pool: 100 isolated sub-Tau pairs each gain a bridging point in one
+// batched Insert, promoting all 200 existing points at once — far past one
+// worker-pool grain, so phase B's result handling must be race-free (run
+// under -race in CI) — and the result still matches a fresh fit exactly.
+func TestInsertMassPromotion(t *testing.T) {
+	const pairs = 100
+	var base, bridges [][]float32
+	at := func(a float64) []float32 {
+		return []float32{float32(math.Cos(a)), float32(math.Sin(a))}
+	}
+	for i := 0; i < pairs; i++ {
+		b := 0.06 * float64(i)
+		base = append(base, at(b), at(b+0.012))
+		bridges = append(bridges, at(b+0.006))
+	}
+	// eps 1e-4: within-pair ≈ 7.2e-5, pair-to-bridge ≈ 1.8e-5, the closest
+	// cross-pair gap ≈ 1.15e-3 — pairs are isolated, trios connect.
+	model, err := Fit(context.Background(), base, MethodDBSCAN,
+		WithEps(1e-4), WithTau(3), WithWorkers(4), WithWaveSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumClusters() != 0 || model.NumCores() != 0 {
+		t.Fatalf("pre-insert: %d clusters %d cores, want all noise", model.NumClusters(), model.NumCores())
+	}
+	rep, err := model.Insert(context.Background(), bridges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Promoted != 2*pairs {
+		t.Fatalf("promoted = %d, want %d", rep.Promoted, 2*pairs)
+	}
+	if model.NumClusters() != pairs {
+		t.Fatalf("clusters = %d, want %d", model.NumClusters(), pairs)
+	}
+	assertMatchesFreshFit(t, model, "after mass promotion")
+}
+
+// TestInsertRemoveSequenceMatchesFreshFit interleaves inserts and removes
+// and checks the equality contract holds for the whole history, not just
+// single steps.
+func TestInsertRemoveSequenceMatchesFreshFit(t *testing.T) {
+	d := GenerateMixture("inc-seq", MixtureConfig{
+		N: 360, Dim: 32, Clusters: 4, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 47,
+	})
+	base, pool := d.Vectors[:260], d.Vectors[260:]
+	for _, eng := range incrementalEngines(d.Vectors) {
+		t.Run(eng.name, func(t *testing.T) {
+			model, err := FitParams(context.Background(), slices.Clone(base), eng.method, eng.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			cursor := 0
+			for step := 0; step < 6; step++ {
+				if step%2 == 0 && cursor < len(pool) {
+					k := min(1+rng.Intn(30), len(pool)-cursor)
+					if _, err := model.Insert(context.Background(), pool[cursor:cursor+k]); err != nil {
+						t.Fatal(err)
+					}
+					cursor += k
+				} else {
+					ids := rng.Perm(model.Len())[:10]
+					if _, err := model.Remove(context.Background(), ids); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			assertMatchesFreshFit(t, model, "after interleaved history")
+		})
+	}
+}
+
+// TestMutatedPredictConsistency checks the self-consistency invariant for
+// every method without post-processing: predicting the model's own points
+// reproduces its current labels (core points via their own cluster, borders
+// via the same adjacency rule the relabeling applies).
+func TestMutatedPredictConsistency(t *testing.T) {
+	d := GenerateMixture("inc-predict", MixtureConfig{
+		N: 320, Dim: 32, Clusters: 4, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 53,
+	})
+	base, rest := d.Vectors[:260], d.Vectors[260:]
+	est := ExactEstimator(d.Vectors)
+	configs := map[Method]Params{
+		MethodDBSCAN:      {Eps: 0.4, Tau: 4},
+		MethodDBSCANPP:    {Eps: 0.4, Tau: 4, SampleFraction: 0.5, Seed: 7},
+		MethodLAFDBSCAN:   {Eps: 0.4, Tau: 4, Alpha: 1.0, Estimator: est, Seed: 7, DisablePostProcessing: true},
+		MethodLAFDBSCANPP: {Eps: 0.4, Tau: 4, Alpha: 1.0, Estimator: est, SampleFraction: 0.5, Seed: 7, DisablePostProcessing: true},
+		MethodKNNBlock:    {Eps: 0.4, Tau: 4, Seed: 7},
+		MethodBlockDBSCAN: {Eps: 0.4, Tau: 4, Seed: 7},
+		MethodRhoApprox:   {Eps: 0.4, Tau: 4, Rho: 0},
+	}
+	for m, p := range configs {
+		t.Run(string(m), func(t *testing.T) {
+			model, err := FitParams(context.Background(), slices.Clone(base), m, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := model.Labels()
+			if _, err := model.Insert(context.Background(), rest); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := model.Remove(context.Background(), []int{3, 50, 100}); err != nil {
+				t.Fatal(err)
+			}
+			// Mutations preserve the partition structure of the surviving
+			// fitted points up to canonical renumbering and genuine local
+			// changes; at minimum the labeling must be self-consistent.
+			pred, err := model.Predict(context.Background(), model.snapshotPoints())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := model.Labels(); !slices.Equal(pred, got) {
+				for i := range pred {
+					if pred[i] != got[i] {
+						t.Fatalf("%s: self-prediction diverges at %d: predict %d, label %d", m, i, pred[i], got[i])
+					}
+				}
+			}
+			_ = before
+		})
+	}
+}
+
+// TestMutatedModelSaveLoadRoundTrip pins persistence of evolved models:
+// the mutation counter and every label-level artifact survive the round
+// trip bit for bit, and the loaded model keeps evolving correctly (its
+// maintenance overlay rebuilds from the payload).
+func TestMutatedModelSaveLoadRoundTrip(t *testing.T) {
+	d := GenerateMixture("inc-persist", MixtureConfig{
+		N: 300, Dim: 32, Clusters: 4, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 59,
+	})
+	base, rest := d.Vectors[:240], d.Vectors[240:]
+	model, err := Fit(context.Background(), slices.Clone(base), MethodDBSCAN, WithEps(0.4), WithTau(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Insert(context.Background(), rest[:30]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Remove(context.Background(), []int{1, 2, 3, 250}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Updates() != model.Updates() || loaded.Updates() != 34 {
+		t.Fatalf("Updates = %d (loaded %d), want 34", model.Updates(), loaded.Updates())
+	}
+	if !slices.Equal(loaded.Labels(), model.Labels()) || !slices.Equal(loaded.CoreMask(), model.CoreMask()) ||
+		!slices.Equal(loaded.Forest(), model.Forest()) {
+		t.Fatal("mutated model artifacts did not round-trip bit-identically")
+	}
+	// The loaded model must keep evolving: insert the remaining points on
+	// both models and compare against a fresh fit.
+	if _, err := model.Insert(context.Background(), rest[30:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Insert(context.Background(), rest[30:]); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(loaded.Labels(), model.Labels()) {
+		t.Fatal("loaded model diverged from the original under further mutation")
+	}
+	assertMatchesFreshFit(t, loaded, "loaded model after further inserts")
+}
+
+// TestRetrainPolicy pins the staleness counter and the retrain trigger:
+// after the configured number of mutations the estimator is retrained on
+// the current points, the model re-gates, and the labels still match a
+// fresh fit with the new estimator.
+func TestRetrainPolicy(t *testing.T) {
+	d := GenerateMixture("inc-retrain", MixtureConfig{
+		N: 300, Dim: 32, Clusters: 4, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 61,
+	})
+	base, rest := d.Vectors[:260], d.Vectors[260:]
+	est := ExactEstimator(base)
+	model, err := Fit(context.Background(), slices.Clone(base), MethodLAFDBSCAN,
+		WithEps(0.4), WithTau(4), WithAlpha(1.2), WithEstimator(est), WithSeed(7), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained := 0
+	model.SetRetrainPolicy(RetrainPolicy{
+		After: 25,
+		Train: func(ctx context.Context, points [][]float32) (Estimator, error) {
+			trained++
+			return ExactEstimator(slices.Clone(points)), nil
+		},
+	})
+	rep, err := model.Insert(context.Background(), rest[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retrained || model.Staleness() != 20 || trained != 0 {
+		t.Fatalf("premature retrain: %+v staleness=%d trained=%d", rep, model.Staleness(), trained)
+	}
+	rep, err = model.Insert(context.Background(), rest[20:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Retrained || trained != 1 {
+		t.Fatalf("retrain did not trigger: %+v trained=%d", rep, trained)
+	}
+	if model.Staleness() != 0 {
+		t.Fatalf("staleness = %d after retrain, want 0", model.Staleness())
+	}
+	assertMatchesFreshFit(t, model, "after retrain re-gate")
+}
+
+// TestConcurrentInsertPredict is the -race witness of the concurrency
+// contract: predictions, accessor reads and serialization race mutations
+// freely; every observed state is either pre- or post-update.
+func TestConcurrentInsertPredict(t *testing.T) {
+	d := GenerateMixture("inc-race", MixtureConfig{
+		N: 260, Dim: 24, Clusters: 4, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 67,
+	})
+	base, rest := d.Vectors[:200], d.Vectors[200:]
+	model, err := Fit(context.Background(), slices.Clone(base), MethodDBSCAN,
+		WithEps(0.4), WithTau(4), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := slices.Clone(rest[:10])
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := model.Predict(context.Background(), probes); err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				_ = model.Labels()
+				_ = model.NumClusters()
+				var buf bytes.Buffer
+				if err := model.Save(&buf); err != nil {
+					t.Errorf("save: %v", err)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(rest); i += 4 {
+			hi := min(i+4, len(rest))
+			if _, err := model.Insert(context.Background(), rest[i:hi]); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if model.Len() > len(base)+8 {
+				if _, err := model.Remove(context.Background(), []int{0, 5}); err != nil {
+					t.Errorf("remove: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	assertMatchesFreshFit(t, model, "after concurrent churn")
+}
+
+// TestUpdateValidation pins the error surface: dimension mismatches,
+// out-of-range and duplicate removals, removing everything, and LAF
+// maintenance without an estimator all fail cleanly without mutating the
+// model.
+func TestUpdateValidation(t *testing.T) {
+	d := GenerateMixture("inc-validate", MixtureConfig{
+		N: 120, Dim: 16, Clusters: 3, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 71,
+	})
+	model, err := Fit(context.Background(), d.Vectors, MethodDBSCAN, WithEps(0.4), WithTau(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := model.Labels()
+	if _, err := model.Insert(context.Background(), [][]float32{{1, 0}}); err == nil ||
+		!strings.Contains(err.Error(), "dims") {
+		t.Fatalf("dim mismatch not rejected: %v", err)
+	}
+	if _, err := model.Remove(context.Background(), []int{-1}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range id not rejected: %v", err)
+	}
+	if _, err := model.Remove(context.Background(), []int{2, 2}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate id not rejected: %v", err)
+	}
+	all := make([]int, model.Len())
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := model.Remove(context.Background(), all); err == nil ||
+		!strings.Contains(err.Error(), "all") {
+		t.Fatalf("remove-all not rejected: %v", err)
+	}
+	if !slices.Equal(model.Labels(), before) {
+		t.Fatal("failed updates mutated the model")
+	}
+
+	// A loaded LAF model whose estimator could not be serialized (the
+	// exact oracle has no wire format) must refuse maintenance.
+	lafModel, err := Fit(context.Background(), d.Vectors, MethodLAFDBSCAN,
+		WithEps(0.4), WithTau(4), WithEstimator(ExactEstimator(d.Vectors)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lafModel.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.HasEstimator() {
+		t.Fatal("exact oracle unexpectedly serialized")
+	}
+	if _, err := loaded.Insert(context.Background(), d.Vectors[:1]); err == nil ||
+		!strings.Contains(err.Error(), "estimator") {
+		t.Fatalf("estimator-less LAF maintenance not rejected: %v", err)
+	}
+}
+
+// TestUpdateCancellation pins atomicity under cancellation: a context
+// cancelled mid-maintenance aborts within one wave and leaves the model
+// bit-identical to its pre-call state.
+func TestUpdateCancellation(t *testing.T) {
+	d := GenerateMixture("inc-cancel", MixtureConfig{
+		N: 200, Dim: 16, Clusters: 3, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 73,
+	})
+	base, rest := d.Vectors[:150], d.Vectors[150:]
+	model, err := Fit(context.Background(), slices.Clone(base), MethodDBSCAN,
+		WithEps(0.4), WithTau(4), WithWorkers(2), WithWaveSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := model.Labels()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := model.Insert(ctx, rest); err == nil {
+		t.Fatal("cancelled insert did not fail")
+	}
+	if _, err := model.Remove(ctx, []int{0, 1}); err == nil {
+		t.Fatal("cancelled remove did not fail")
+	}
+	if !slices.Equal(model.Labels(), before) || model.Len() != len(base) || model.Updates() != 0 {
+		t.Fatal("cancelled maintenance mutated the model")
+	}
+	// The model must still work after the aborted attempts.
+	if _, err := model.Insert(context.Background(), rest); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesFreshFit(t, model, "after recovery from cancellation")
+}
