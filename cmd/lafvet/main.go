@@ -1,0 +1,106 @@
+// Command lafvet runs the repository's custom analyzer suite (mapiter,
+// lockcheck, ctxflow, hotalloc) over the module. It is the machine check
+// for the invariants the clustering engines' determinism rests on; see
+// docs/STATIC_ANALYSIS.md.
+//
+// Standalone:
+//
+//	go run ./cmd/lafvet ./...
+//
+// exits 1 and prints one line per diagnostic if anything is found.
+//
+// As a vet tool (the go/analysis unitchecker protocol: -V=full probe,
+// then one *.cfg argument per package):
+//
+//	go build -o bin/lafvet ./cmd/lafvet
+//	go vet -vettool=$(pwd)/bin/lafvet ./...
+//
+// `lafvet help` prints each analyzer's documentation.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lafdbscan/internal/analysis"
+)
+
+// selfHash returns a content hash of the running binary, for the go vet
+// build cache key.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet protocol probes.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			// cmd/go derives the vet cache key from this line; the content
+			// hash of the binary keeps it correct across rebuilds.
+			fmt.Printf("lafvet version devel buildID=%s\n", selfHash())
+			return
+		}
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+
+	if len(args) > 0 && args[0] == "help" {
+		printHelp()
+		return
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lafvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.DefaultSuite().Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lafvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func printHelp() {
+	fmt.Println("lafvet checks the lafdbscan determinism, locking, context and hot-path invariants.")
+	fmt.Println()
+	for _, a := range analysis.DefaultSuite() {
+		fmt.Printf("%s: %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("Suppression directives (a reason is mandatory):")
+	fmt.Println("  //lafvet:orderfree <reason>        on/above a range-over-map statement")
+	fmt.Println("  //lafvet:hotpath                   in a function's doc comment")
+	fmt.Println("  //lafvet:allow <analyzer> <reason> on/above the offending line")
+}

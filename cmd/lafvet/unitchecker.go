@@ -1,0 +1,179 @@
+// The go vet driver side of lafvet: cmd/go invokes the vettool once per
+// package with a JSON .cfg file describing the unit of work — file lists,
+// the import map, and the locations of the compiled export data of every
+// dependency. This file implements just enough of the x/tools unitchecker
+// protocol for `go vet -vettool=lafvet` to work: parse the config,
+// typecheck the package against the gc export data cmd/go already built,
+// run the suite, print findings, and write the (empty — lafvet has no
+// cross-package facts) .vetx output cmd/go expects.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"lafdbscan/internal/analysis"
+)
+
+// vetConfig is the subset of cmd/go's vet config lafvet consumes.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lafvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "lafvet: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	if cfg.Compiler == "" {
+		cfg.Compiler = "gc"
+	}
+
+	// go vet hands us every unit in the build graph — the standard library
+	// and test variants (`pkg [pkg.test]`) included. lafvet's contract is
+	// the module's non-test code, same as standalone mode.
+	if !moduleUnit(cfg.ImportPath) || strings.Contains(cfg.ID, " ") {
+		return writeVetx(cfg)
+	}
+	// The test variant of a package is a separate unit that re-lists the
+	// regular files plus the _test.go files; the plain unit already covers
+	// the former, and lafvet's contract excludes the latter.
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			return writeVetx(cfg)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg)
+			}
+			fmt.Fprintf(os.Stderr, "lafvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// cmd/go tells us where each dependency's export data lives.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes: types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg)
+		}
+		fmt.Fprintf(os.Stderr, "lafvet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		Path:      cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Fset:      fset,
+		Files:     files,
+		GoFiles:   absPaths(cfg.Dir, cfg.GoFiles),
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	diags := analysis.DefaultSuite().Run([]*analysis.Package{pkg})
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if code := writeVetx(cfg); code != 0 {
+		return code
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// moduleUnit reports whether the vet unit is one of this module's own
+// non-test packages.
+func moduleUnit(importPath string) bool {
+	if strings.Contains(importPath, " ") { // "pkg [pkg.test]" variants
+		return false
+	}
+	return importPath == analysis.ModulePath ||
+		strings.HasPrefix(importPath, analysis.ModulePath+"/")
+}
+
+// writeVetx writes the empty facts file cmd/go expects every vet tool to
+// produce for each unit.
+func writeVetx(cfg vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "lafvet: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func absPaths(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if filepath.IsAbs(n) {
+			out[i] = n
+		} else {
+			out[i] = filepath.Join(dir, n)
+		}
+	}
+	return out
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

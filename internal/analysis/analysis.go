@@ -1,0 +1,312 @@
+// Package analysis is lafvet's analyzer framework: a self-contained,
+// stdlib-only reimplementation of the golang.org/x/tools/go/analysis
+// surface this repository needs, plus the four analyzers that machine-check
+// the invariants the clustering engines' determinism rests on (see
+// doc.go and docs/STATIC_ANALYSIS.md).
+//
+// The Analyzer / Pass shapes deliberately mirror x/tools so the analyzers
+// could be ported onto the upstream driver verbatim if the dependency ever
+// becomes available; the build environment for this repository bakes in the
+// Go toolchain only, so the loader (load.go) and the test harness
+// (analysistest.go) are implemented on go/parser, go/types and
+// `go list -json -deps` instead.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named, self-contained check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lafvet:allow <name> suppression directives.
+	Name string
+	// Doc is the one-paragraph description `lafvet help` prints.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass) error
+}
+
+// A Pass hands one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// diags collects what the analyzer reported.
+	diags []Diagnostic
+	// directives caches the parsed //lafvet: comments per file.
+	directives map[*ast.File][]Directive
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless an //lafvet:allow directive
+// for this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Directive is one //lafvet:<name> <args> comment. Line is the line the
+// comment ends on; a directive governs the statement it trails or the one
+// beginning on the next line.
+type Directive struct {
+	Pos  token.Pos
+	Line int
+	Name string // "orderfree", "hotpath", "allow", ...
+	Args string // everything after the name, space-trimmed
+}
+
+// directivePrefix introduces every lafvet control comment.
+const directivePrefix = "//lafvet:"
+
+// Directives returns the parsed //lafvet: comments of file, cached.
+func (p *Pass) Directives(file *ast.File) []Directive {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File][]Directive)
+	}
+	if d, ok := p.directives[file]; ok {
+		return d
+	}
+	d := parseDirectives(p.Fset, file)
+	p.directives[file] = d
+	return d
+}
+
+// parseDirectives extracts every //lafvet: comment of a file.
+func parseDirectives(fset *token.FileSet, file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			name := rest
+			args := ""
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				name, args = rest[:i], strings.TrimSpace(rest[i+1:])
+			}
+			// Test fixtures embed expected-diagnostic markers (`want "re"`)
+			// inside directive comments — a directive is itself a comment,
+			// so there is nowhere else to put a same-line marker. The
+			// marker is not part of the directive's arguments.
+			if i := strings.Index(args, `want "`); i >= 0 {
+				args = strings.TrimSpace(args[:i])
+			}
+			out = append(out, Directive{
+				Pos:  c.Pos(),
+				Line: fset.Position(c.End()).Line,
+				Name: name,
+				Args: args,
+			})
+		}
+	}
+	return out
+}
+
+// DirectiveFor returns the directive with the given name governing the
+// statement starting at pos — trailing on the same line or ending on the
+// line immediately above — and whether one exists.
+func (p *Pass) DirectiveFor(file *ast.File, pos token.Pos, name string) (Directive, bool) {
+	line := p.Fset.Position(pos).Line
+	for _, d := range p.Directives(file) {
+		if d.Name == name && (d.Line == line || d.Line == line-1) {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// allowed reports whether an //lafvet:allow <analyzer> <reason> directive
+// with a non-empty reason covers the line (same line or the line above).
+func (p *Pass) allowed(pos token.Position) bool {
+	for _, file := range p.Files {
+		if p.Fset.Position(file.Pos()).Filename != pos.Filename {
+			continue
+		}
+		for _, d := range p.Directives(file) {
+			if d.Name != "allow" || (d.Line != pos.Line && d.Line != pos.Line-1) {
+				continue
+			}
+			name, reason, _ := strings.Cut(d.Args, " ")
+			if name == p.Analyzer.Name && strings.TrimSpace(reason) != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkAllowDirectives reports allow directives with no reason — a bare
+// suppression is a finding of its own, so every exception stays documented.
+// Called once per package by the runner (under the analyzer being run, so
+// the diagnostic cannot itself be suppressed by the broken directive).
+func checkAllowDirectives(p *Pass) {
+	for _, file := range p.Files {
+		for _, d := range p.Directives(file) {
+			if d.Name != "allow" {
+				continue
+			}
+			name, reason, _ := strings.Cut(d.Args, " ")
+			if name != p.Analyzer.Name {
+				continue
+			}
+			if strings.TrimSpace(reason) == "" {
+				p.diags = append(p.diags, Diagnostic{
+					Pos:      p.Fset.Position(d.Pos),
+					Analyzer: p.Analyzer.Name,
+					Message:  fmt.Sprintf("lafvet:allow %s directive requires a reason", name),
+				})
+			}
+		}
+	}
+}
+
+// Suite is the ordered set of analyzers lafvet runs.
+type Suite []*Analyzer
+
+// DefaultSuite returns the four lafvet analyzers.
+func DefaultSuite() Suite {
+	return Suite{MapIter, LockCheck, CtxFlow, HotAlloc}
+}
+
+// ModulePath is the import path of the module the default scopes target.
+const ModulePath = "lafdbscan"
+
+// InScope reports whether the analyzer checks the given package (and, for
+// file-scoped analyzers, the given file base name) under lafvet's default
+// configuration:
+//
+//   - mapiter guards the label/fact-producing code: internal/cluster,
+//     internal/core, the JSON-producing internal/serve, and the root
+//     package's model files (model*.go — the Fit/Predict/Insert/Remove
+//     surface whose facts feed label resolution).
+//   - lockcheck guards the root package (the Model concurrency contract).
+//   - ctxflow and hotalloc run module-wide; ctxflow itself skips package
+//     main, and hotalloc only fires inside //lafvet:hotpath functions.
+//
+// Fixture packages (no lafdbscan path prefix) are always in scope, so the
+// analyzer tests exercise the checks directly.
+func InScope(a *Analyzer, pkgPath, fileBase string) bool {
+	if !strings.HasPrefix(pkgPath, ModulePath) {
+		return true // fixtures and out-of-module test packages
+	}
+	switch a.Name {
+	case "mapiter":
+		switch pkgPath {
+		case ModulePath + "/internal/cluster",
+			ModulePath + "/internal/core",
+			ModulePath + "/internal/serve":
+			return true
+		case ModulePath:
+			return strings.HasPrefix(fileBase, "model")
+		}
+		return false
+	case "lockcheck":
+		return pkgPath == ModulePath
+	default: // ctxflow, hotalloc: module-wide
+		return true
+	}
+}
+
+// Run executes every analyzer of the suite over every package, applying
+// the default scope, and returns the combined diagnostics sorted by
+// position. Loader packages carrying type errors are reported as
+// diagnostics too — an unanalyzable package must fail the gate, not pass
+// it silently.
+func (s Suite) Run(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Err != nil {
+			out = append(out, Diagnostic{
+				Pos:      token.Position{Filename: pkg.Path},
+				Analyzer: "load",
+				Message:  pkg.Err.Error(),
+			})
+			continue
+		}
+		for _, a := range s {
+			files := scopedFiles(a, pkg)
+			if len(files) == 0 {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				out = append(out, Diagnostic{
+					Pos:      token.Position{Filename: pkg.Path},
+					Analyzer: a.Name,
+					Message:  "analyzer error: " + err.Error(),
+				})
+			}
+			checkAllowDirectives(pass)
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// scopedFiles returns the package files the analyzer checks, honoring the
+// default scope's per-file restriction for the root package.
+func scopedFiles(a *Analyzer, pkg *Package) []*ast.File {
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		base := baseName(pkg.Fset.Position(f.Pos()).Filename)
+		if InScope(a, pkg.Path, base) {
+			files = append(files, f)
+		}
+	}
+	return files
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture harness, modeled on x/tools' analysistest: each
+// testdata/<analyzer>/ directory is loaded as one package (testdata is
+// invisible to the go tool, so the fixtures cannot break the module
+// build), the analyzer runs over it, and the diagnostics are compared —
+// exactly, both directions — against `want "regexp"` markers in the
+// fixture source. A marker anywhere in a line's comments applies to
+// diagnostics reported on that line; several quoted regexps may follow one
+// `want`. A diagnostic with no matching marker, or a marker with no
+// diagnostic, fails the test.
+
+// wantRe extracts the quoted regexps following a want marker; double- and
+// back-quoted forms are both accepted (backquotes spare the regexp from
+// double escaping).
+var wantRe = regexp.MustCompile("want ((?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)(?:[ \t]+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))*)")
+
+var quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string // base name
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// parseExpectations scans a fixture file for want markers.
+func parseExpectations(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range quotedRe.FindAllString(m[1], -1) {
+			pattern, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want marker %s: %v", path, i+1, q, err)
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pattern, err)
+			}
+			out = append(out, &expectation{
+				file: filepath.Base(path),
+				line: i + 1,
+				re:   re,
+				raw:  pattern,
+			})
+		}
+	}
+	return out
+}
+
+// runFixture loads testdata/<dir>, runs the analyzer, and checks the
+// diagnostics against the fixture's want markers.
+func runFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, f := range pkg.GoFiles {
+		wants = append(wants, parseExpectations(t, f)...)
+	}
+	diags := Suite{a}.Run([]*Package{pkg})
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering (file, line,
+// message) as matched.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	base := filepath.Base(file)
+	for _, w := range wants {
+		if !w.matched && w.file == base && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// stripAndRun removes every source line matching strip, loads the result
+// from a scratch directory, and returns the suite's diagnostics. It is how
+// the tests prove that deleting a directive makes lafvet fail. The scratch
+// directory is dot-prefixed and created here, INSIDE the module, so the go
+// tool ignores it while `go list` still resolves lafdbscan-internal
+// imports for the copied files.
+func stripAndRun(t *testing.T, s Suite, srcFiles []string, strip func(line string) bool) []Diagnostic {
+	t.Helper()
+	dir, err := os.MkdirTemp(".", ".striptest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	for _, src := range srcFiles {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kept []string
+		for _, line := range strings.Split(string(data), "\n") {
+			if strip != nil && strip(line) {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		dst := filepath.Join(dir, filepath.Base(src))
+		if err := os.WriteFile(dst, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading stripped copy: %v", err)
+	}
+	return s.Run([]*Package{pkg})
+}
+
+func fmtDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

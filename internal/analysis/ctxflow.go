@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the context-plumbing discipline of the driver API
+// (PRs 2–4): library code must thread the caller's context instead of
+// minting its own, so cancellation actually reaches the clustering loops.
+//
+// Three rules:
+//
+//  1. context.Background() and context.TODO() are forbidden outside
+//     package main. The one legitimate shape — the root package's
+//     documented compatibility wrappers — is recognized structurally: a
+//     function F whose entire body is `return FContext(context.Background(),
+//     ...)` is allowlisted, because the context is created exactly at the
+//     public non-context boundary. Anything else (e.g. detaching a job
+//     from its request context) needs //lafvet:allow ctxflow <reason>.
+//  2. A function that takes a context.Context must take it as the FIRST
+//     parameter.
+//  3. An exported function or method named *Context — the repository's
+//     convention for cancellable driver entry points — must actually
+//     accept a context.Context first.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid context.Background/TODO in library code and enforce ctx-first signatures",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Signature rules apply to every declared function.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxSignature(pass, fd)
+		}
+		// Background/TODO rule, with the wrapper allowlist.
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if ok && isCompatWrapper(pass.TypesInfo, fd) {
+				return false // the Background() inside is the wrapper's point
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Background", "TODO"} {
+				if pkgFunc(pass.TypesInfo, call, "context", name) {
+					pass.Reportf(call.Pos(), "context.%s() in library code: thread the caller's ctx instead (compat wrappers must be exactly `return FContext(context.Background(), ...)`)", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxSignature enforces ctx-first and the *Context naming contract.
+func checkCtxSignature(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	params := fd.Type.Params
+	ctxAt := -1
+	if params != nil {
+		i := 0
+		for _, field := range params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if isContextType(info, field.Type) && ctxAt < 0 {
+				ctxAt = i
+			}
+			i += n
+		}
+	}
+	if ctxAt > 0 {
+		pass.Reportf(fd.Name.Pos(), "%s takes a context.Context as parameter %d: ctx must be the first parameter", fd.Name.Name, ctxAt+1)
+	}
+	if strings.HasSuffix(fd.Name.Name, "Context") && fd.Name.IsExported() && ctxAt != 0 {
+		pass.Reportf(fd.Name.Pos(), "exported %s is named *Context but does not take a context.Context as its first parameter", fd.Name.Name)
+	}
+}
+
+// isContextType reports whether the parameter type is context.Context.
+func isContextType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isCompatWrapper recognizes the documented root-package compatibility
+// shape: func F(args...) { return FContext(context.Background(), args...) }.
+// The callee must be exactly F's name + "Context", and the Background()
+// call must be its first argument — anything looser is not a wrapper.
+func isCompatWrapper(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	var calleeName string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		calleeName = fun.Name
+	case *ast.SelectorExpr:
+		calleeName = fun.Sel.Name
+	default:
+		return false
+	}
+	if calleeName != fd.Name.Name+"Context" {
+		return false
+	}
+	first, ok := unparen(call.Args[0]).(*ast.CallExpr)
+	return ok && pkgFunc(info, first, "context", "Background")
+}

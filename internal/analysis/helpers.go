@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared syntactic helpers for the analyzers. Everything here is
+// deliberately conservative: a helper that cannot prove a property returns
+// false, and the analyzer reports — suppressions then require an explicit,
+// reasoned directive.
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// chainBase unwraps selector / index / star / paren chains and returns the
+// innermost expression (usually an *ast.Ident).
+func chainBase(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// isPure reports whether evaluating e cannot call user code and has no side
+// effects: identifiers, literals, selectors, index expressions, arithmetic,
+// and calls that are type conversions or the len/cap builtins. Anything
+// else — other calls, channel receives, function literals — is impure.
+func isPure(info *types.Info, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isConversion(info, x) {
+				return true
+			}
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap", "min", "max":
+						return true
+					}
+				}
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}
+
+// isConversion reports whether the call is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// usesObject reports whether the expression references any of the given
+// objects.
+func usesObject(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprObj returns the object an identifier expression denotes, or nil.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+	return nil
+}
+
+// isIntegerType reports whether t's underlying type is an integer.
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pkgFunc reports whether the call's callee is the named function of the
+// named package (matching the package's import path exactly).
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleePkgPath returns the import path of the package a call's callee
+// belongs to ("" for builtins, locals, and method values on local types).
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// HotAlloc flags heap allocations inside functions registered as wave-hot
+// with a `//lafvet:hotpath` directive in their doc comment. The wave
+// engine's per-point callbacks and the vecmath kernels run once per
+// point-pair per wave; a single allocation there turns an O(n) pass into
+// GC pressure that the benchmarks in bench.yml exist to catch — this
+// analyzer catches it before the benchmark does.
+//
+// Inside a hotpath function the following are reported:
+//
+//   - make(...) of any kind;
+//   - composite literals (slice, map, struct — including &T{...});
+//   - new(...);
+//   - append(...) — growth reallocates — unless the destination was
+//     created in the same function by a 3-argument make (explicit
+//     capacity, so growth within capacity is allocation-free by design);
+//   - calls into fmt (every fmt call allocates for its interface args).
+//
+// Exemption: arguments of panic(...) may allocate — a hot path that is
+// about to crash no longer has a performance budget, and the repo's
+// kernels use panic(fmt.Sprintf(...)) for dimension mismatches.
+// Deliberate allocations (e.g. a one-time lazily grown buffer) take
+// //lafvet:allow hotalloc <reason>.
+//
+// A hotpath directive that is not attached to a function declaration is
+// itself reported, so stale annotations cannot linger.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap allocations inside //lafvet:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		consumed := make(map[token.Pos]bool)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			d, ok := hotpathDirective(pass, file, fd)
+			if !ok {
+				continue
+			}
+			consumed[d.Pos] = true
+			if fd.Body != nil {
+				checkHotBody(pass, fd)
+			}
+		}
+		for _, d := range pass.Directives(file) {
+			if d.Name == "hotpath" && !consumed[d.Pos] {
+				pass.Reportf(d.Pos, "lafvet:hotpath directive is not attached to a function declaration")
+			}
+		}
+	}
+	return nil
+}
+
+// hotpathDirective finds the //lafvet:hotpath directive in the function's
+// doc comment (or on the line directly above the declaration).
+func hotpathDirective(pass *Pass, file *ast.File, fd *ast.FuncDecl) (Directive, bool) {
+	declLine := pass.Fset.Position(fd.Pos()).Line
+	docStart, docEnd := 0, 0
+	if fd.Doc != nil {
+		docStart = pass.Fset.Position(fd.Doc.Pos()).Line
+		docEnd = pass.Fset.Position(fd.Doc.End()).Line
+	}
+	for _, d := range pass.Directives(file) {
+		if d.Name != "hotpath" {
+			continue
+		}
+		if d.Line == declLine-1 || (docStart > 0 && d.Line >= docStart && d.Line <= docEnd) {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// checkHotBody reports each allocating construct in a hotpath function.
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	name := fd.Name.Name
+
+	// Collect the positions spanned by panic(...) arguments: exempt.
+	type span struct{ lo, hi token.Pos }
+	var panicSpans []span
+	// Destinations of a 3-arg make (explicit cap) in this function.
+	preallocObjs := make(map[interface{}]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "panic") {
+				for _, a := range x.Args {
+					panicSpans = append(panicSpans, span{a.Pos(), a.End()})
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "make") || len(call.Args) < 3 {
+					continue
+				}
+				if obj := exprObj(info, x.Lhs[i]); obj != nil {
+					preallocObjs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	exempt := func(pos token.Pos) bool {
+		for _, s := range panicSpans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if exempt(x.Pos()) {
+				return true
+			}
+			switch {
+			case isBuiltin(info, x, "make"):
+				pass.Reportf(x.Pos(), "make in hotpath function %s allocates per call; hoist the buffer or annotate //lafvet:allow hotalloc <reason>", name)
+			case isBuiltin(info, x, "new"):
+				pass.Reportf(x.Pos(), "new in hotpath function %s allocates per call", name)
+			case isBuiltin(info, x, "append"):
+				if len(x.Args) > 0 {
+					if obj := exprObj(info, x.Args[0]); obj != nil && preallocObjs[obj] {
+						return true
+					}
+				}
+				pass.Reportf(x.Pos(), "append in hotpath function %s may grow and reallocate; preallocate with make(_, _, cap) in this function or annotate //lafvet:allow hotalloc <reason>", name)
+			case calleePkgPath(info, x) == "fmt":
+				pass.Reportf(x.Pos(), "fmt call in hotpath function %s allocates (interface conversions + formatting); only panic arguments are exempt", name)
+			}
+		case *ast.CompositeLit:
+			if exempt(x.Pos()) {
+				return false
+			}
+			pass.Reportf(x.Pos(), "composite literal in hotpath function %s allocates; hoist it or annotate //lafvet:allow hotalloc <reason>", name)
+			return false // don't double-report nested literals
+		}
+		return true
+	})
+}

@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The loader typechecks packages from source with nothing but the standard
+// library: `go list -e -json -deps` enumerates the dependency closure
+// (already build-tag- and vendor-resolved), and each package is then parsed
+// and typechecked bottom-up with go/parser and go/types. This is the same
+// strategy x/tools' go/packages uses under NeedTypes, reimplemented narrowly
+// because this repository's build environment has no module dependencies.
+//
+// CGO is disabled for the listing so every package in the closure — the
+// net/http stack included — resolves to pure-Go files go/types can check.
+
+// A Package is one loaded, typechecked package.
+type Package struct {
+	Path      string
+	Name      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	GoFiles   []string
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Err records why the package could not be loaded or typechecked;
+	// the suite turns it into a diagnostic.
+	Err error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// world caches typechecked packages across Load and LoadDir calls (the
+// analyzer tests load several fixture directories; the stdlib closure is
+// typechecked once).
+type world struct {
+	mu    sync.Mutex
+	fset  *token.FileSet
+	meta  map[string]*listPkg
+	types map[string]*types.Package
+	errs  map[string]error
+}
+
+var shared = &world{
+	fset:  token.NewFileSet(),
+	meta:  make(map[string]*listPkg),
+	types: make(map[string]*types.Package),
+	errs:  make(map[string]error),
+}
+
+// goList runs `go list -e -json -deps` over the patterns and folds the
+// results into the world's metadata map. Returns the import paths the
+// patterns matched directly (non-deps), in listing order.
+func (w *world) goList(dir string, patterns []string) ([]string, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if _, ok := w.meta[p.ImportPath]; !ok {
+			cp := p
+			w.meta[p.ImportPath] = &cp
+		}
+	}
+	// -deps emits dependencies before dependents; the trailing entries that
+	// the patterns matched directly are exactly those listed by a plain
+	// `go list`, so run that (cheap, no JSON) to separate them.
+	cmd = exec.Command("go", append([]string{"list", "--"}, patterns...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	direct, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v", strings.Join(patterns, " "), err)
+	}
+	var targets []string
+	for _, line := range strings.Split(strings.TrimSpace(string(direct)), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			targets = append(targets, line)
+		}
+	}
+	return targets, nil
+}
+
+// check returns the typechecked package for an import path, typechecking
+// its dependencies first. Results and failures are cached.
+func (w *world) check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := w.types[path]; ok {
+		return tp, nil
+	}
+	if err, ok := w.errs[path]; ok {
+		return nil, err
+	}
+	meta, ok := w.meta[path]
+	if !ok {
+		err := fmt.Errorf("package %s not in go list closure", path)
+		w.errs[path] = err
+		return nil, err
+	}
+	if meta.Error != nil {
+		err := fmt.Errorf("package %s: %s", path, meta.Error.Err)
+		w.errs[path] = err
+		return nil, err
+	}
+	tp, _, _, err := w.typecheck(meta)
+	if err != nil {
+		w.errs[path] = err
+		return nil, err
+	}
+	w.types[path] = tp
+	return tp, nil
+}
+
+// typecheck parses and checks one package against its (already checked)
+// dependencies.
+func (w *world) typecheck(meta *listPkg) (*types.Package, []*ast.File, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(w.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if mapped, ok := meta.ImportMap[ipath]; ok {
+				ipath = mapped
+			}
+			return w.check(ipath)
+		}),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	tp, err := conf.Check(meta.ImportPath, w.fset, files, info)
+	if firstErr != nil {
+		err = firstErr
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("typechecking %s: %v", meta.ImportPath, err)
+	}
+	return tp, files, info, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// interface check: go/importer's Default has the same single-method shape.
+var _ types.Importer = importerFunc(nil)
+
+// Load lists, parses and typechecks the packages matching the patterns
+// (relative to dir; empty dir means the current directory) and returns
+// them in listing order. A package that fails to load is returned with Err
+// set rather than dropped, so the caller can gate on it.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	targets, err := shared.goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range targets {
+		meta, ok := shared.meta[path]
+		pkg := &Package{Path: path, Fset: shared.fset}
+		if !ok {
+			pkg.Err = fmt.Errorf("package %s missing from go list output", path)
+			out = append(out, pkg)
+			continue
+		}
+		pkg.Name = meta.Name
+		for _, f := range meta.GoFiles {
+			pkg.GoFiles = append(pkg.GoFiles, filepath.Join(meta.Dir, f))
+		}
+		if meta.Error != nil {
+			pkg.Err = fmt.Errorf("package %s: %s", path, meta.Error.Err)
+			out = append(out, pkg)
+			continue
+		}
+		tp, files, info, err := shared.typecheck(meta)
+		if err != nil {
+			pkg.Err = err
+			out = append(out, pkg)
+			continue
+		}
+		shared.types[path] = tp
+		pkg.Types, pkg.Files, pkg.TypesInfo = tp, files, info
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and typechecks every non-test .go file of one directory as
+// a single package, resolving its imports through the shared standard-
+// library loader. This is the fixture path of the analyzer tests: testdata
+// directories are invisible to the go tool, so they are loaded by file
+// rather than by import path.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	fset := shared.fset
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	// Make sure the metadata for the fixture's imports (and their closure)
+	// is present; only list the ones not already known.
+	var missing []string
+	for imp := range importSet {
+		if _, ok := shared.meta[imp]; !ok && imp != "unsafe" {
+			missing = append(missing, imp)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		if _, err := shared.goList(dir, missing); err != nil {
+			return nil, err
+		}
+	}
+
+	pkgPath := "fixture/" + filepath.Base(dir)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) { return shared.check(ipath) }),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	tp, err := conf.Check(pkgPath, fset, files, info)
+	if firstErr != nil {
+		err = firstErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", dir, err)
+	}
+	pkg := &Package{
+		Path:      pkgPath,
+		Name:      files[0].Name.Name,
+		Fset:      fset,
+		Files:     files,
+		Types:     tp,
+		TypesInfo: info,
+	}
+	for _, n := range names {
+		pkg.GoFiles = append(pkg.GoFiles, filepath.Join(dir, n))
+	}
+	return pkg, nil
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCheck enforces the Model concurrency contract established in PR 5
+// structurally: every struct with a `mu sync.Mutex` / `sync.RWMutex` field
+// declares its guarded state BELOW the mutex (the repo-wide convention the
+// Model doc comment spells out), and any function that touches a guarded
+// field must show evidence of holding the lock.
+//
+// Evidence is syntactic and function-scoped:
+//
+//   - a call to <x>.mu.Lock() anywhere in the body licenses reads and
+//     writes;
+//   - a call to <x>.mu.RLock() licenses reads only;
+//   - a function whose name ends in "Locked" declares the repository's
+//     caller-holds-lock contract and is licensed for both (its CALLERS are
+//     then required to show evidence at the call site);
+//   - a value constructed in the same function (composite literal or
+//     `new`) is not yet shared, so its fields are exempt.
+//
+// The check is deliberately coarse — it cannot see unlock-before-use or
+// locking the wrong instance — but it catches the regression that actually
+// happens: a new accessor reading m.labels with no lock at all.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flag guarded-field access without mutex evidence (fields below a mu field)",
+	Run:  runLockCheck,
+}
+
+const lockedSuffix = "Locked"
+
+// guardedStruct records which fields of a struct are declared below its mu.
+type guardedStruct struct {
+	typeName string
+	fields   map[string]bool
+}
+
+func runLockCheck(pass *Pass) error {
+	guarded := collectGuardedStructs(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncLocks(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedStructs finds every struct declared in the pass's files
+// that has a `mu` mutex field, and records the fields declared after it.
+func collectGuardedStructs(pass *Pass) map[*types.TypeName]*guardedStruct {
+	out := make(map[*types.TypeName]*guardedStruct)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{typeName: ts.Name.Name, fields: make(map[string]bool)}
+			seenMu := false
+			for _, field := range st.Fields.List {
+				if !seenMu {
+					for _, name := range field.Names {
+						if name.Name == "mu" && isMutexType(pass.TypesInfo, field.Type) {
+							seenMu = true
+						}
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					gs.fields[name.Name] = true
+				}
+			}
+			if seenMu && len(gs.fields) > 0 {
+				out[tn] = gs
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isMutexType reports whether the field type is sync.Mutex or sync.RWMutex.
+func isMutexType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkFuncLocks verifies every guarded-field access and *Locked call in
+// one function body against the function's lock evidence.
+func checkFuncLocks(pass *Pass, fd *ast.FuncDecl, guarded map[*types.TypeName]*guardedStruct) {
+	info := pass.TypesInfo
+
+	readEv, writeEv := lockEvidence(fd.Body)
+	if strings.HasSuffix(fd.Name.Name, lockedSuffix) {
+		// Caller-holds-lock contract: the body is licensed; call sites of
+		// this function are checked in THEIR enclosing functions below.
+		readEv, writeEv = true, true
+	}
+
+	fresh := constructorLocals(info, fd.Body, guarded)
+
+	// First pass: which selector nodes are write targets.
+	writes := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				writes[unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[unparen(s.X)] = true
+		case *ast.UnaryExpr:
+			if s.Op.String() == "&" {
+				// Taking a guarded field's address escapes the lock's
+				// scope; treat like a write.
+				writes[unparen(s.X)] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			gs, fieldName := guardedField(info, x, guarded)
+			if gs == nil || fieldName == "mu" {
+				return true
+			}
+			if obj := exprObj(info, chainBase(x.X)); obj != nil && fresh[obj] {
+				return true
+			}
+			if writes[ast.Node(x)] {
+				if !writeEv {
+					pass.Reportf(x.Pos(), "write to guarded field %s.%s without holding mu (call mu.Lock or move this into a %s-suffixed helper)", gs.typeName, fieldName, lockedSuffix)
+				}
+			} else if !readEv {
+				pass.Reportf(x.Pos(), "read of guarded field %s.%s without holding mu (call mu.RLock or move this into a %s-suffixed helper)", gs.typeName, fieldName, lockedSuffix)
+			}
+		case *ast.CallExpr:
+			// Calling a *Locked method requires lock evidence at the call
+			// site: the callee declared that its caller holds mu.
+			sel, ok := unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok || !strings.HasSuffix(sel.Sel.Name, lockedSuffix) {
+				return true
+			}
+			recvTn := receiverTypeName(info, sel.X)
+			if recvTn == nil || guarded[recvTn] == nil {
+				return true
+			}
+			if obj := exprObj(info, chainBase(sel.X)); obj != nil && fresh[obj] {
+				return true
+			}
+			if !readEv {
+				pass.Reportf(x.Pos(), "call to %s.%s without holding mu (the %s suffix means the caller must hold the lock)", guarded[recvTn].typeName, sel.Sel.Name, lockedSuffix)
+			}
+		}
+		return true
+	})
+}
+
+// lockEvidence scans a body for <x>.mu.Lock() / <x>.mu.RLock() calls.
+func lockEvidence(body *ast.BlockStmt) (readEv, writeEv bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != "mu" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock":
+			readEv, writeEv = true, true
+		case "RLock":
+			readEv = true
+		}
+		return true
+	})
+	return readEv, writeEv
+}
+
+// guardedField resolves a selector to (struct, field) when it selects a
+// guarded field of a tracked struct, using type information so embedded
+// and pointer receivers resolve correctly.
+func guardedField(info *types.Info, sel *ast.SelectorExpr, guarded map[*types.TypeName]*guardedStruct) (*guardedStruct, string) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	tn := namedTypeName(s.Recv())
+	if tn == nil {
+		return nil, ""
+	}
+	gs := guarded[tn]
+	if gs == nil {
+		return nil, ""
+	}
+	if sel.Sel.Name == "mu" {
+		return gs, "mu"
+	}
+	if !gs.fields[sel.Sel.Name] {
+		return nil, ""
+	}
+	return gs, sel.Sel.Name
+}
+
+// receiverTypeName resolves the type name of a method receiver expression.
+func receiverTypeName(info *types.Info, e ast.Expr) *types.TypeName {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return namedTypeName(tv.Type)
+}
+
+// namedTypeName unwraps pointers and returns the *types.TypeName of a named
+// type, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// constructorLocals returns the objects of variables the function itself
+// initializes with a composite literal or `new` of a guarded struct: until
+// the value is published, no lock can be required.
+func constructorLocals(info *types.Info, body *ast.BlockStmt, guarded map[*types.TypeName]*guardedStruct) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	isGuardedNew := func(e ast.Expr) bool {
+		e = unparen(e)
+		if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+			e = unparen(ue.X)
+		}
+		switch x := e.(type) {
+		case *ast.CompositeLit:
+			tv, ok := info.Types[x]
+			return ok && guarded[namedTypeName(tv.Type)] != nil
+		case *ast.CallExpr:
+			if !isBuiltin(info, x, "new") || len(x.Args) != 1 {
+				return false
+			}
+			tv, ok := info.Types[x.Args[0]]
+			return ok && tv.IsType() && guarded[namedTypeName(tv.Type)] != nil
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok || !isGuardedNew(as.Rhs[i]) {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `range` statements over maps whose loop bodies are not
+// provably order-insensitive. Go randomizes map iteration order, so any
+// order-sensitive effect inside such a loop is a latent determinism bug —
+// in this repository's fact-producing packages it would silently break the
+// bit-identical-labels contract the parallel, wave and incremental engines
+// are tested against (PRs 1, 2 and 5).
+//
+// A loop body is accepted as order-insensitive when every statement is one
+// of:
+//
+//   - a store keyed by the iteration key (m2[k] = v): distinct keys write
+//     distinct cells, so ordering cannot matter;
+//   - a commutative integer accumulation (n++, n += x, bitwise or-assign):
+//     integer addition is associative and commutative — note that FLOAT
+//     accumulation is rejected, because float addition does not associate;
+//   - delete(m, k): deletes are idempotent per key;
+//   - `continue`, or an `if` with a pure condition wrapping the above;
+//   - s = append(s, e) IF the first statement after the loop that uses s
+//     is a recognized sort call (sort.Ints / sort.Strings / sort.Slice /
+//     slices.Sort / ...): extracting then sorting re-establishes a
+//     deterministic order.
+//
+// No expression in the body may read a variable the body itself mutates
+// (an accumulator read would smuggle order back in), and conditions,
+// indexes and right-hand sides must be pure (no calls). Everything else
+// needs an explicit `//lafvet:orderfree <reason>` directive on or above
+// the range statement; a directive without a reason, or one not attached
+// to a map range, is itself reported.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag range-over-map loops whose effects depend on iteration order",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, file := range pass.Files {
+		rangeLines := make(map[int]bool) // lines holding a map-range statement
+		var walkStmts func(stmts []ast.Stmt)
+		checkRange := func(rs *ast.RangeStmt, tail []ast.Stmt) {
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			line := pass.Fset.Position(rs.Pos()).Line
+			rangeLines[line] = true
+			if d, ok := pass.DirectiveFor(file, rs.Pos(), "orderfree"); ok {
+				if d.Args == "" {
+					pass.Reportf(d.Pos, "lafvet:orderfree directive requires a reason")
+				}
+				return
+			}
+			if reason := orderSensitive(pass, rs, tail); reason != "" {
+				pass.Reportf(rs.Pos(), "range over map: %s; sort the keys first or annotate //lafvet:orderfree <reason>", reason)
+			}
+		}
+		walkStmts = func(stmts []ast.Stmt) {
+			for i, s := range stmts {
+				if ls, ok := s.(*ast.LabeledStmt); ok {
+					s = ls.Stmt
+				}
+				if rs, ok := s.(*ast.RangeStmt); ok {
+					checkRange(rs, stmts[i+1:])
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				walkStmts(b.List)
+			case *ast.CaseClause:
+				walkStmts(b.Body)
+			case *ast.CommClause:
+				walkStmts(b.Body)
+			}
+			return true
+		})
+		// A stale or misplaced directive must fail too: otherwise deleting
+		// the loop it documented would leave a suppression lying around to
+		// silently cover the next map range pasted nearby.
+		for _, d := range pass.Directives(file) {
+			if d.Name == "orderfree" && !rangeLines[d.Line] && !rangeLines[d.Line+1] {
+				pass.Reportf(d.Pos, "lafvet:orderfree directive does not annotate a range-over-map statement")
+			}
+		}
+	}
+	return nil
+}
+
+// orderSensitive explains why the loop body is not provably
+// order-insensitive ("" when it is). tail is the statement list following
+// the range statement in its enclosing block, used to verify the
+// extract-then-sort pattern.
+func orderSensitive(pass *Pass, rs *ast.RangeStmt, tail []ast.Stmt) string {
+	info := pass.TypesInfo
+
+	keyObj := rangeVarObj(info, rs.Key)
+
+	// Pass 1: every object the body mutates. Reading one of these anywhere
+	// in the body makes the loop an (order-dependent) fold.
+	mutated := make(map[types.Object]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if obj := exprObj(info, chainBase(lhs)); obj != nil {
+					mutated[obj] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := exprObj(info, chainBase(s.X)); obj != nil {
+				mutated[obj] = true
+			}
+		}
+		return true
+	})
+
+	// extracted tracks `s = append(s, e)` targets that must be sorted
+	// right after the loop.
+	extracted := make(map[types.Object]bool)
+
+	pure := func(e ast.Expr) bool {
+		return isPure(info, e) && !usesObject(info, e, mutated)
+	}
+
+	var why string
+	var allowedStmt func(s ast.Stmt) bool
+	allowedStmts := func(list []ast.Stmt) bool {
+		for _, s := range list {
+			if !allowedStmt(s) {
+				return false
+			}
+		}
+		return true
+	}
+	allowedStmt = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			return allowedStmts(s.List)
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE {
+				return true
+			}
+			why = "the body can exit the loop early (" + s.Tok.String() + "), so the result depends on which keys come first"
+			return false
+		case *ast.IfStmt:
+			if s.Init != nil {
+				init, ok := s.Init.(*ast.AssignStmt)
+				if !ok || init.Tok != token.DEFINE {
+					why = "if statement has a non-declaration initializer"
+					return false
+				}
+				for _, rhs := range init.Rhs {
+					if !pure(rhs) {
+						why = "if initializer is not a pure expression"
+						return false
+					}
+				}
+			}
+			if !pure(s.Cond) {
+				why = "if condition calls a function or reads a variable the body mutates"
+				return false
+			}
+			if !allowedStmt(s.Body) {
+				return false
+			}
+			if s.Else != nil {
+				return allowedStmt(s.Else)
+			}
+			return true
+		case *ast.IncDecStmt:
+			if tv, ok := info.Types[s.X]; ok && isIntegerType(tv.Type) {
+				return true
+			}
+			why = "increment/decrement of a non-integer is not a commutative accumulation"
+			return false
+		case *ast.ExprStmt:
+			call, ok := unparen(s.X).(*ast.CallExpr)
+			if ok && isBuiltin(info, call, "delete") {
+				for _, a := range call.Args {
+					if !pure(a) {
+						why = "delete argument is not pure"
+						return false
+					}
+				}
+				return true
+			}
+			why = "the body calls a function whose effects the checker cannot see"
+			return false
+		case *ast.AssignStmt:
+			return allowedAssign(pass, s, keyObj, mutated, extracted, pure, &why)
+		default:
+			why = "the body contains a statement the checker cannot prove order-insensitive"
+			return false
+		}
+	}
+
+	if !allowedStmts(rs.Body.List) {
+		if why == "" {
+			why = "loop body is not provably order-insensitive"
+		}
+		return why
+	}
+
+	// Every extracted slice must be sorted by the first statement after the
+	// loop that touches it.
+	for obj := range extracted {
+		if !sortedNext(pass, tail, obj) {
+			return "elements are appended in map order and not sorted immediately after the loop"
+		}
+	}
+	return ""
+}
+
+// allowedAssign accepts the three assignment shapes of an order-insensitive
+// body: a store keyed by the iteration key, a commutative integer
+// accumulation, and the append half of extract-then-sort.
+func allowedAssign(pass *Pass, s *ast.AssignStmt, keyObj types.Object, mutated map[types.Object]bool, extracted map[types.Object]bool, pure func(ast.Expr) bool, why *string) bool {
+	info := pass.TypesInfo
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		*why = "multi-assignments are not checked; annotate if order-insensitive"
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		tv, ok := info.Types[lhs]
+		if !ok || !isIntegerType(tv.Type) {
+			*why = "compound assignment accumulates a non-integer (float accumulation is order-dependent)"
+			return false
+		}
+		if !pure(rhs) {
+			*why = "accumulation operand is not a pure expression"
+			return false
+		}
+		// An indexed accumulator (counts[u] += d) is fine for any index:
+		// integer op-assigns commute even when keys collide. The index and
+		// base just have to be pure.
+		if ix, ok := unparen(lhs).(*ast.IndexExpr); ok && !pure(ix.Index) {
+			*why = "accumulator index is not a pure expression"
+			return false
+		}
+		return true
+	case token.ASSIGN, token.DEFINE:
+		// Extract-then-sort: s = append(s, e...)
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok && isBuiltin(info, call, "append") && len(call.Args) >= 2 && call.Ellipsis == token.NoPos {
+			dst := exprObj(info, lhs)
+			src := exprObj(info, call.Args[0])
+			if dst != nil && dst == src {
+				for _, a := range call.Args[1:] {
+					if !(isPure(info, a) && !usesObjectExcept(info, a, mutated, dst)) {
+						*why = "appended element is not a pure expression"
+						return false
+					}
+				}
+				extracted[dst] = true
+				return true
+			}
+		}
+		if s.Tok == token.DEFINE {
+			*why = "declarations inside the body are not checked; annotate if order-insensitive"
+			return false
+		}
+		// Keyed store: X[k] = v with the iteration key as the index.
+		ix, ok := unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			*why = "plain assignment to a shared variable: the last key iterated wins"
+			return false
+		}
+		if keyObj == nil || exprObj(info, keyIdent(ix.Index)) != keyObj {
+			*why = "store is not keyed by the iteration key, so colliding writes depend on order"
+			return false
+		}
+		// The store target is of course mutated by the store itself; only
+		// OTHER mutated variables may not be read.
+		storeBase := exprObj(info, chainBase(ix.X))
+		if !pure(rhs) || !isPure(info, ix.X) || usesObjectExcept(info, ix.X, mutated, storeBase) {
+			*why = "keyed store reads an impure expression"
+			return false
+		}
+		return true
+	default:
+		*why = "assignment operator " + s.Tok.String() + " is not a commutative accumulation"
+		return false
+	}
+}
+
+// keyIdent unwraps conversions like int(u) / int32(u) around an index
+// expression so X[int(k)] counts as keyed by k.
+func keyIdent(e ast.Expr) ast.Expr {
+	e = unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		return keyIdent(call.Args[0])
+	}
+	return e
+}
+
+// usesObjectExcept is usesObject with one object exempted (the append
+// target may of course mention itself).
+func usesObjectExcept(info *types.Info, e ast.Expr, objs map[types.Object]bool, except types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && obj != except && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rangeVarObj returns the object of a range key/value variable (nil for _
+// or absent).
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// sortedNext reports whether the first statement in tail that references
+// obj is a recognized sort call over it.
+func sortedNext(pass *Pass, tail []ast.Stmt, obj types.Object) bool {
+	info := pass.TypesInfo
+	for _, s := range tail {
+		refs := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				refs = true
+			}
+			return !refs
+		})
+		if !refs {
+			continue
+		}
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := unparen(es.X).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		if exprObj(info, call.Args[0]) != obj {
+			return false
+		}
+		for pkg, names := range map[string][]string{
+			"sort":   {"Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable"},
+			"slices": {"Sort", "SortFunc", "SortStableFunc"},
+		} {
+			for _, name := range names {
+				if pkgFunc(info, call, pkg, name) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+// The ctxflow fixture: Background/TODO in library code, the compat-wrapper
+// allowlist, ctx-first ordering, and the *Context naming contract.
+package fixture
+
+import "context"
+
+// FitContext is a proper driver entry point: ctx first.
+func FitContext(ctx context.Context, data []int) error {
+	_ = ctx
+	_ = data
+	return nil
+}
+
+// Fit is the documented compatibility-wrapper shape — its whole body is
+// `return FitContext(context.Background(), ...)` — and is allowlisted
+// (false-positive shape).
+func Fit(data []int) error {
+	return FitContext(context.Background(), data)
+}
+
+// stray mints a context outside the wrapper shape.
+func stray() context.Context {
+	return context.Background() // want `context.Background\(\) in library code`
+}
+
+// strayTODO is no better.
+func strayTODO() context.Context {
+	return context.TODO() // want `context.TODO\(\) in library code`
+}
+
+// notAWrapper calls a function whose name is not its own + "Context", so
+// the allowlist does not apply.
+func notAWrapper(data []int) error {
+	return FitContext(context.Background(), data) // want `context.Background\(\) in library code`
+}
+
+// detach demonstrates the documented escape hatch.
+func detach() (context.Context, context.CancelFunc) {
+	//lafvet:allow ctxflow fixture demonstrates the deliberate-detach suppression
+	return context.WithCancel(context.Background())
+}
+
+// wrongOrder buries ctx behind another parameter.
+func wrongOrder(data []int, ctx context.Context) error { // want "ctx must be the first parameter"
+	_ = ctx
+	_ = data
+	return nil
+}
+
+// RunContext claims to be a driver entry point but takes no context.
+func RunContext(data []int) error { // want `named \*Context but does not take a context.Context`
+	_ = data
+	return nil
+}

@@ -1,0 +1,71 @@
+// The hotalloc fixture: allocations inside //lafvet:hotpath functions, the
+// panic-argument exemption, the preallocated-append exemption, the allow
+// directive, and stale-directive detection. Functions without the
+// directive may allocate freely.
+package fixture
+
+import "fmt"
+
+// Kernel is the shape of the vecmath kernels: tight loop, no allocation,
+// panic(fmt.Sprintf) guard exempt. No diagnostics (false-positive shape).
+//
+//lafvet:hotpath
+func Kernel(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mismatched lengths %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// cold is not registered: allocations are fine here.
+func cold(n int) []int {
+	out := make([]int, n)
+	return append(out, len(out))
+}
+
+//lafvet:hotpath
+func badMake(n int) []int {
+	return make([]int, n) // want "make in hotpath function badMake"
+}
+
+//lafvet:hotpath
+func badLit() []int {
+	return []int{1, 2} // want "composite literal in hotpath function badLit"
+}
+
+//lafvet:hotpath
+func badNew() *int {
+	return new(int) // want "new in hotpath function badNew"
+}
+
+//lafvet:hotpath
+func badAppend(xs []int, v int) []int {
+	return append(xs, v) // want "append in hotpath function badAppend"
+}
+
+//lafvet:hotpath
+func badFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt call in hotpath function badFmt"
+}
+
+// preallocAppend appends only within a capacity it set itself: the append
+// is exempt (the make still needs its own justification).
+//
+//lafvet:hotpath
+func preallocAppend(n int) []int {
+	//lafvet:allow hotalloc fixture demonstrates a justified one-time buffer
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// A hotpath directive on a non-function is stale and reported.
+//
+//lafvet:hotpath want "not attached to a function declaration"
+var notAFunction int

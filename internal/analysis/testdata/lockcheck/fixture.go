@@ -1,0 +1,81 @@
+// The lockcheck fixture: a miniature of the root Model type — immutable
+// configuration above mu, guarded state below — exercising every rule:
+// missing read/write evidence, RLock-only writes, the *Locked caller
+// contract, the constructor exemption, and the allow directive.
+package fixture
+
+import "sync"
+
+type Model struct {
+	name string // above mu: immutable after construction, never flagged
+
+	mu     sync.RWMutex
+	labels []int
+	n      int
+}
+
+// Name reads only unguarded state: no diagnostic (false-positive shape).
+func (m *Model) Name() string { return m.name }
+
+// Count holds the read lock: no diagnostic.
+func (m *Model) Count() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// Set holds the write lock: no diagnostic.
+func (m *Model) Set(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n = n
+}
+
+// badRead has no lock evidence at all.
+func (m *Model) badRead() int {
+	return m.n // want "read of guarded field Model.n without holding mu"
+}
+
+// badWrite only holds the read lock, which does not license writes.
+func (m *Model) badWrite(v int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	m.n = v // want "write to guarded field Model.n without holding mu"
+}
+
+// countLocked declares the caller-holds-lock contract; its body is
+// licensed, its call sites are checked instead.
+func (m *Model) countLocked() int { return m.n + len(m.labels) }
+
+// badCall invokes a *Locked helper without holding the lock.
+func (m *Model) badCall() int {
+	return m.countLocked() // want "call to Model.countLocked without holding mu"
+}
+
+// goodCall holds the lock across the *Locked call: no diagnostic.
+func (m *Model) goodCall() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.countLocked()
+}
+
+// NewModel initializes guarded fields before the value is shared: the
+// constructor exemption, no diagnostic.
+func NewModel(n int) *Model {
+	m := &Model{name: "fresh"}
+	m.n = n
+	m.labels = make([]int, n)
+	return m
+}
+
+// allowDirective suppresses a finding with a documented reason.
+func allowDirective(m *Model) int {
+	//lafvet:allow lockcheck fixture demonstrates suppression
+	return m.n
+}
+
+// A bare allow directive is itself a finding, and suppresses nothing.
+func bareAllow(m *Model) int {
+	//lafvet:allow lockcheck want "allow lockcheck directive requires a reason"
+	return m.n // want "read of guarded field Model.n without holding mu"
+}

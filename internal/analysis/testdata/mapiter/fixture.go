@@ -1,0 +1,114 @@
+// The mapiter fixture: each case is the minimal shape of a pattern the
+// analyzer must flag, must not flag, or must require a directive for.
+// Marker comments name the expected diagnostics (see analysistest_test.go).
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keyed stores, integer counting and delete are order-insensitive: no
+// diagnostics (the false-positive shapes).
+func orderInsensitive(m map[string]int, out map[string]int, counts map[int]int) int {
+	n := 0
+	for k, v := range m {
+		if v > 0 {
+			out[k] = v * 2
+			n++
+		}
+		counts[v] += v
+	}
+	for k, v := range m {
+		if v < 0 {
+			delete(out, k)
+		}
+	}
+	return n
+}
+
+// Extract-then-sort re-establishes a deterministic order: no diagnostic.
+func extractThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Appending in map order WITHOUT a sort is the bug the serve registry had
+// before this analyzer existed: the JSON listing depended on map order.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appended in map order and not sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// An impure append element (a method call) cannot be proven
+// order-insensitive even when sorted afterwards.
+func appendImpure(m map[string]int, f func(string) string) []string {
+	var out []string
+	for k := range m { // want "appended element is not a pure expression"
+		out = append(out, f(k))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Float accumulation is order-dependent: float addition does not associate.
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "accumulates a non-integer"
+		s += v
+	}
+	return s
+}
+
+// Last-write-wins on a shared variable depends on which key comes last.
+func lastWins(m map[string]int) string {
+	var last string
+	for k := range m { // want "plain assignment to a shared variable"
+		last = k
+	}
+	return last
+}
+
+// Calling a function with invisible effects cannot be proven safe.
+func sideEffects(m map[string]int) {
+	for k := range m { // want "calls a function whose effects the checker cannot see"
+		fmt.Println(k)
+	}
+}
+
+// A reasoned orderfree directive suppresses the diagnostic.
+func directiveOK(m map[string]int) string {
+	var last string
+	//lafvet:orderfree fixture demonstrates suppression
+	for k := range m {
+		last = k
+	}
+	return last
+}
+
+// A directive without a reason is itself a finding.
+func directiveNoReason(m map[string]int) string {
+	var last string
+	//lafvet:orderfree want "orderfree directive requires a reason"
+	for k := range m {
+		last = k
+	}
+	return last
+}
+
+// A directive not attached to a map range is stale and reported.
+func directiveMisplaced(xs []int) int {
+	n := 0
+	//lafvet:orderfree slices are ordered anyway want "does not annotate a range-over-map statement"
+	for range xs {
+		n++
+	}
+	return n
+}

@@ -27,6 +27,8 @@ func NewAtomicUnionFind(n int) *AtomicUnionFind {
 // CAS halving along the way. Concurrent unions may change the
 // representative until all unions have completed; after a happens-before
 // barrier (e.g. WaitGroup.Wait) the answer is stable.
+//
+//lafvet:hotpath
 func (u *AtomicUnionFind) Find(x int) int {
 	cur := int32(x)
 	for {
@@ -46,6 +48,8 @@ func (u *AtomicUnionFind) Find(x int) int {
 
 // Union merges the sets of a and b, linking the larger root under the
 // smaller so roots are canonical minimum members.
+//
+//lafvet:hotpath
 func (u *AtomicUnionFind) Union(a, b int) {
 	for {
 		ra := int32(u.Find(a))
@@ -66,4 +70,6 @@ func (u *AtomicUnionFind) Union(a, b int) {
 
 // Same reports whether a and b share a representative. Only meaningful once
 // concurrent unions have quiesced.
+//
+//lafvet:hotpath
 func (u *AtomicUnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }

@@ -58,6 +58,8 @@ func (m *WaveMerger) SkipStubs() { m.stubs = nil }
 // returns whether p is core. Safe for concurrent use on distinct p; ids is
 // not retained (non-core lists are copied into the stub), so the caller may
 // recycle it. Each p must be absorbed at most once.
+//
+//lafvet:hotpath
 func (m *WaveMerger) Absorb(p int, ids []int) bool {
 	if len(ids) >= m.tau {
 		m.status[p].Store(waveCore)
@@ -69,6 +71,7 @@ func (m *WaveMerger) Absorb(p int, ids []int) bool {
 		return true
 	}
 	if m.stubs != nil {
+		//lafvet:allow hotalloc the stub copy is the design: one short (<tau) allocation per NON-core point replaces buffering every neighbor list
 		stub := make([]int, len(ids))
 		copy(stub, ids)
 		m.stubs[p] = stub
@@ -132,10 +135,12 @@ func (m *WaveMerger) Resolve(stop map[int]map[int]struct{}) []int {
 			}
 		}
 	}
+	//lafvet:orderfree each key q is a distinct non-core point, and the fold below only reads core labels, which this loop never writes
 	for q, set := range stop {
 		if labels[q] != 0 {
 			continue
 		}
+		//lafvet:orderfree min over the set's core labels is commutative, and ties cannot occur (labels are distinct per core)
 		for nb := range set {
 			if core[nb] {
 				if id := labels[nb]; labels[q] == 0 || id < labels[q] {

@@ -236,6 +236,7 @@ func NewEngine(reg *Registry, est *EstimatorCache, opts Options) *Engine {
 	if run == nil {
 		run = lafdbscan.ClusterContext
 	}
+	//lafvet:allow ctxflow the engine deliberately detaches jobs from request contexts; Close cancels this root
 	ctx, stop := context.WithCancel(context.Background())
 	e := &Engine{
 		reg: reg, est: est, run: run,

@@ -175,11 +175,15 @@ func (r *Registry) Info(name string) (DatasetInfo, error) {
 func (r *Registry) List() []DatasetInfo {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]DatasetInfo, 0, len(r.entries))
+	names := make([]string, 0, len(r.entries))
 	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]DatasetInfo, 0, len(names))
+	for _, name := range names {
 		out = append(out, r.infoLocked(name))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

@@ -46,6 +46,8 @@ func (m Metric) Func() DistanceFunc {
 // CosineDistance returns 1 - cos(a, b), clamped to [0, 2]. For the zero
 // vector the cosine is treated as 0, giving distance 1 (maximally
 // uninformative), so the function is total.
+//
+//lafvet:hotpath
 func CosineDistance(a, b []float32) float64 {
 	dot := Dot(a, b)
 	na := SquaredNorm(a)
@@ -66,6 +68,8 @@ func CosineDistance(a, b []float32) float64 {
 // CosineDistanceUnit returns 1 - <a, b> assuming both vectors already have
 // unit norm. All datasets in this repository are normalized on creation, so
 // the hot clustering loops use this variant to skip the norm computation.
+//
+//lafvet:hotpath
 func CosineDistanceUnit(a, b []float32) float64 {
 	d := 1 - Dot(a, b)
 	if d < 0 {
@@ -78,11 +82,15 @@ func CosineDistanceUnit(a, b []float32) float64 {
 }
 
 // EuclideanDistance returns the L2 distance between a and b.
+//
+//lafvet:hotpath
 func EuclideanDistance(a, b []float32) float64 {
 	return math.Sqrt(SquaredEuclidean(a, b))
 }
 
 // SquaredEuclidean returns the squared L2 distance between a and b.
+//
+//lafvet:hotpath
 func SquaredEuclidean(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vecmath: distance of mismatched lengths %d and %d", len(a), len(b)))

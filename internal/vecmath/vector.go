@@ -7,6 +7,8 @@ import (
 
 // Dot returns the inner product of a and b. It panics if the lengths differ;
 // mixing dimensions is always a programming error in this repository.
+//
+//lafvet:hotpath
 func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vecmath: dot of mismatched lengths %d and %d", len(a), len(b)))
@@ -26,11 +28,15 @@ func Dot(a, b []float32) float64 {
 }
 
 // Norm returns the L2 norm of v.
+//
+//lafvet:hotpath
 func Norm(v []float32) float64 {
 	return math.Sqrt(SquaredNorm(v))
 }
 
 // SquaredNorm returns the squared L2 norm of v.
+//
+//lafvet:hotpath
 func SquaredNorm(v []float32) float64 {
 	var s0, s1 float64
 	i := 0
@@ -46,6 +52,8 @@ func SquaredNorm(v []float32) float64 {
 
 // Normalize scales v in place to unit L2 norm and returns v. The zero vector
 // is left unchanged (there is no direction to normalize to).
+//
+//lafvet:hotpath
 func Normalize(v []float32) []float32 {
 	n := Norm(v)
 	if n == 0 {
@@ -95,6 +103,8 @@ func Sub(a, b []float32) []float32 {
 }
 
 // AXPY computes y += alpha*x in place.
+//
+//lafvet:hotpath
 func AXPY(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("vecmath: axpy of mismatched lengths %d and %d", len(x), len(y)))
@@ -105,6 +115,8 @@ func AXPY(alpha float32, x, y []float32) {
 }
 
 // Scale multiplies v by alpha in place and returns v.
+//
+//lafvet:hotpath
 func Scale(alpha float32, v []float32) []float32 {
 	for i := range v {
 		v[i] *= alpha

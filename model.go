@@ -395,9 +395,9 @@ func (m *Model) PredictWithOptions(ctx context.Context, vectors [][]float32, o P
 				i = qmap[k]
 			}
 			if nearest {
-				labels[i] = m.nearestCoreLabel(queries[k], ids)
+				labels[i] = m.nearestCoreLabelLocked(queries[k], ids)
 			} else {
-				labels[i] = m.minClusterLabel(ids)
+				labels[i] = m.minClusterLabelLocked(ids)
 			}
 		})
 	if err != nil {
@@ -417,9 +417,9 @@ func (m *Model) nearestCoreSemantics() bool {
 	return true
 }
 
-// minClusterLabel returns the minimum cluster label among the core points
-// in ids, or Noise when none is core.
-func (m *Model) minClusterLabel(ids []int) int {
+// minClusterLabelLocked returns the minimum cluster label among the core
+// points in ids, or Noise when none is core. The caller must hold mu.
+func (m *Model) minClusterLabelLocked(ids []int) int {
 	best := Noise
 	for _, q := range ids {
 		if m.core[q] && (best == Noise || m.labels[q] < best) {
@@ -429,11 +429,11 @@ func (m *Model) minClusterLabel(ids []int) int {
 	return best
 }
 
-// nearestCoreLabel returns the label of the closest core point in ids under
-// cosine distance (the metric every nearest-core method is hardwired to),
-// or Noise when none is core. Ties keep the lowest index, matching the
-// strict-improvement scan of the fitting drivers.
-func (m *Model) nearestCoreLabel(q []float32, ids []int) int {
+// nearestCoreLabelLocked returns the label of the closest core point in ids
+// under cosine distance (the metric every nearest-core method is hardwired
+// to), or Noise when none is core. Ties keep the lowest index, matching the
+// strict-improvement scan of the fitting drivers. The caller must hold mu.
+func (m *Model) nearestCoreLabelLocked(q []float32, ids []int) int {
 	best, bestD := -1, m.params.Eps
 	for _, id := range ids {
 		if !m.core[id] {
@@ -649,6 +649,7 @@ func loadModelV1(r io.Reader) (*Model, error) {
 		Forest:      payload.Forest,
 	}
 	model := newModel(m, p, payload.Points, res)
+	//lafvet:allow lockcheck the model is freshly deserialized and not yet visible to any other goroutine
 	model.updates = payload.Updates
 	return model, nil
 }
