@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// This file is benchguard's macro gate: where the default mode compares
+// go-test benchmark output (allocs/op, stable across machines), the load
+// mode compares two cmd/lafload JSON reports and flags p99 latency
+// regressions per operation class. Latency IS machine-dependent, which is
+// why the CI nightly runs this gate with -soft on shared runners: the
+// comparison is printed and archived, but only a dedicated-hardware run
+// should let it fail the build (see docs/OPERATIONS.md).
+
+// loadOps is the slice of a lafload report this gate consumes; decoding
+// loosely keeps benchguard compatible with additive report growth.
+type loadOps struct {
+	Ops map[string]struct {
+		Count   int     `json:"count"`
+		Errors  int     `json:"errors"`
+		QPS     float64 `json:"qps"`
+		Latency struct {
+			P50 float64 `json:"p50"`
+			P99 float64 `json:"p99"`
+		} `json:"latency_ms"`
+	} `json:"ops"`
+}
+
+// loadComparison is one op class's verdict in the gate's JSON report.
+type loadComparison struct {
+	Op          string  `json:"op"`
+	BaselineP99 float64 `json:"baseline_p99_ms"`
+	CurrentP99  float64 `json:"current_p99_ms"`
+	ChangePct   float64 `json:"p99_change_pct"`
+	BaselineQPS float64 `json:"baseline_qps"`
+	CurrentQPS  float64 `json:"current_qps"`
+	Skipped     bool    `json:"skipped,omitempty"` // too few samples to trust
+	Regressed   bool    `json:"regressed"`
+}
+
+// minLoadSamples is the floor below which an op class's quantiles are too
+// noisy to gate — a 1.5s smoke run's fit class may have single-digit
+// samples, and one GC pause would fail the build.
+const minLoadSamples = 20
+
+// compareLoad pairs the op classes present in both reports and flags any
+// whose p99 grew beyond threshold percent. Classes missing from either
+// side are ignored (mix changes shouldn't fail the gate); classes under
+// minSamples in either run are reported but marked skipped.
+func compareLoad(base, cur loadOps, threshold float64, minSamples int) []loadComparison {
+	ops := make([]string, 0, len(cur.Ops))
+	for op := range cur.Ops {
+		if _, ok := base.Ops[op]; ok {
+			ops = append(ops, op)
+		}
+	}
+	sort.Strings(ops)
+	out := make([]loadComparison, 0, len(ops))
+	for _, op := range ops {
+		b, c := base.Ops[op], cur.Ops[op]
+		cmp := loadComparison{
+			Op:          op,
+			BaselineP99: b.Latency.P99, CurrentP99: c.Latency.P99,
+			ChangePct:   changePct(b.Latency.P99, c.Latency.P99),
+			BaselineQPS: b.QPS, CurrentQPS: c.QPS,
+		}
+		if b.Count < minSamples || c.Count < minSamples {
+			cmp.Skipped = true
+		} else {
+			cmp.Regressed = cmp.ChangePct > threshold
+		}
+		out = append(out, cmp)
+	}
+	return out
+}
+
+func parseLoadReport(path string) (loadOps, error) {
+	var r loadOps
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(r.Ops) == 0 {
+		return r, fmt.Errorf("%s holds no op classes — not a lafload report?", path)
+	}
+	return r, nil
+}
+
+// runLoadGate executes the load mode end to end and returns the number of
+// regressed op classes (the caller decides whether that fails the build).
+func runLoadGate(baselinePath, currentPath, jsonPath string, threshold float64) (regressed int, err error) {
+	base, err := parseLoadReport(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("reading load baseline: %w", err)
+	}
+	cur, err := parseLoadReport(currentPath)
+	if err != nil {
+		return 0, fmt.Errorf("reading load current: %w", err)
+	}
+	report := compareLoad(base, cur, threshold, minLoadSamples)
+	if len(report) == 0 {
+		return 0, fmt.Errorf("no op classes in common between %s and %s", baselinePath, currentPath)
+	}
+	for _, cmp := range report {
+		switch {
+		case cmp.Skipped:
+			fmt.Printf("skip %s: p99 %.2f -> %.2f ms (too few samples to gate)\n",
+				cmp.Op, cmp.BaselineP99, cmp.CurrentP99)
+		case cmp.Regressed:
+			regressed++
+			fmt.Printf("FAIL %s: p99 %.2f -> %.2f ms (%+.1f%%, threshold %+.0f%%), qps %.1f -> %.1f\n",
+				cmp.Op, cmp.BaselineP99, cmp.CurrentP99, cmp.ChangePct, threshold,
+				cmp.BaselineQPS, cmp.CurrentQPS)
+		default:
+			fmt.Printf("ok   %s: p99 %.2f -> %.2f ms (%+.1f%%), qps %.1f -> %.1f\n",
+				cmp.Op, cmp.BaselineP99, cmp.CurrentP99, cmp.ChangePct,
+				cmp.BaselineQPS, cmp.CurrentQPS)
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return regressed, err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return regressed, err
+		}
+	}
+	return regressed, nil
+}

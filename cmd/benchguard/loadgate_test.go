@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func opsFrom(t *testing.T, raw string) loadOps {
+	t.Helper()
+	var r loadOps
+	if err := json.Unmarshal([]byte(raw), &r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+const baseJSON = `{"ops": {
+	"predict": {"count": 1000, "qps": 200, "latency_ms": {"p50": 4, "p99": 10}},
+	"insert":  {"count": 100,  "qps": 20,  "latency_ms": {"p50": 2, "p99": 6}},
+	"fit":     {"count": 5,    "qps": 1,   "latency_ms": {"p50": 80, "p99": 120}}
+}}`
+
+// TestCompareLoad pins the gate's verdicts: within threshold, beyond it,
+// skipped for thin sample counts, and ignored when a class is absent from
+// one side.
+func TestCompareLoad(t *testing.T) {
+	base := opsFrom(t, baseJSON)
+	cur := opsFrom(t, `{"ops": {
+		"predict": {"count": 1200, "qps": 180, "latency_ms": {"p50": 5, "p99": 18}},
+		"insert":  {"count": 110,  "qps": 21,  "latency_ms": {"p50": 2, "p99": 7}},
+		"fit":     {"count": 4,    "qps": 1,   "latency_ms": {"p50": 300, "p99": 500}},
+		"novel":   {"count": 50,   "qps": 9,   "latency_ms": {"p50": 1, "p99": 2}}
+	}}`)
+
+	report := compareLoad(base, cur, 50, 20)
+	verdicts := make(map[string]loadComparison, len(report))
+	for _, c := range report {
+		verdicts[c.Op] = c
+	}
+	if len(report) != 3 {
+		t.Fatalf("compared %d classes, want 3 (novel has no baseline): %v", len(report), verdicts)
+	}
+	if c := verdicts["predict"]; !c.Regressed || c.Skipped {
+		t.Errorf("predict p99 10 -> 18 ms (+80%%) must regress at 50%%: %+v", c)
+	}
+	if c := verdicts["insert"]; c.Regressed || c.Skipped {
+		t.Errorf("insert p99 6 -> 7 ms (+17%%) must pass at 50%%: %+v", c)
+	}
+	if c := verdicts["fit"]; !c.Skipped || c.Regressed {
+		t.Errorf("fit with 4-5 samples must be skipped, never gated: %+v", c)
+	}
+}
+
+// TestCompareLoadZeroBaseline covers the degenerate baseline: a class
+// whose baseline p99 is zero regresses as soon as the current run is not.
+func TestCompareLoadZeroBaseline(t *testing.T) {
+	base := opsFrom(t, `{"ops": {"predict": {"count": 100, "latency_ms": {"p99": 0}}}}`)
+	cur := opsFrom(t, `{"ops": {"predict": {"count": 100, "latency_ms": {"p99": 3}}}}`)
+	report := compareLoad(base, cur, 50, 20)
+	if len(report) != 1 || !report[0].Regressed {
+		t.Errorf("0 -> 3 ms p99 must regress: %+v", report)
+	}
+}
+
+// TestRunLoadGate exercises the file-level path: parse, compare, emit the
+// JSON verdict report.
+func TestRunLoadGate(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	outPath := filepath.Join(dir, "verdict.json")
+	if err := os.WriteFile(basePath, []byte(baseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(curPath, []byte(baseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	regressed, err := runLoadGate(basePath, curPath, outPath, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 0 {
+		t.Errorf("identical reports regressed %d classes, want 0", regressed)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdicts []loadComparison
+	if err := json.Unmarshal(data, &verdicts); err != nil {
+		t.Fatalf("verdict report does not parse: %v", err)
+	}
+	if len(verdicts) != 3 {
+		t.Errorf("verdict report holds %d classes, want 3", len(verdicts))
+	}
+
+	if _, err := runLoadGate(basePath, filepath.Join(dir, "missing.json"), "", 50); err == nil {
+		t.Error("missing current report must error")
+	}
+	if err := os.WriteFile(curPath, []byte(`{"total": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runLoadGate(basePath, curPath, "", 50); err == nil {
+		t.Error("report without ops must error")
+	}
+}

@@ -7,12 +7,20 @@
 // Usage:
 //
 //	benchguard -baseline old.txt -current new.txt [-pattern regexp] [-threshold 25] [-json report.json]
+//	benchguard -load-baseline old.json -load-current new.json [-load-threshold 50] [-soft] [-json report.json]
 //
 // Benchmark names are matched after stripping the -GOMAXPROCS suffix, so a
 // baseline recorded on one machine gates runs on another; only benchmarks
 // present in both files are compared (CPU-count-dependent sub-benchmarks
 // that exist on one machine only are skipped). ns/op is reported but never
 // gated — wall-clock varies across runners, allocation counts do not.
+//
+// The second form is the macro-latency gate: both inputs are cmd/lafload
+// JSON reports, and any op class whose p99 latency grew beyond
+// -load-threshold percent fails the gate. Latency does vary across
+// runners, so CI's shared-runner invocation passes -soft (print the
+// comparison, never fail the build); see docs/OPERATIONS.md for when a
+// hard gate is appropriate and how to refresh the committed baseline.
 package main
 
 import (
@@ -100,8 +108,33 @@ func main() {
 		pattern      = flag.String("pattern", ".", "regexp selecting which benchmarks to gate")
 		threshold    = flag.Float64("threshold", 25, "maximum tolerated allocs/op growth in percent")
 		jsonPath     = flag.String("json", "", "optional path for a machine-readable comparison report")
+
+		loadBaseline  = flag.String("load-baseline", "", "committed lafload JSON baseline (selects load mode)")
+		loadCurrent   = flag.String("load-current", "", "fresh lafload JSON report to gate")
+		loadThreshold = flag.Float64("load-threshold", 50, "maximum tolerated p99 latency growth in percent")
+		soft          = flag.Bool("soft", false, "report load regressions without failing (shared runners)")
 	)
 	flag.Parse()
+	if *loadBaseline != "" || *loadCurrent != "" {
+		if *loadBaseline == "" || *loadCurrent == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		regressed, err := runLoadGate(*loadBaseline, *loadCurrent, *jsonPath, *loadThreshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if regressed > 0 {
+			if *soft {
+				fmt.Printf("benchguard: %d op classes regressed beyond %+.0f%% p99 (soft mode, not failing)\n",
+					regressed, *loadThreshold)
+				return
+			}
+			log.Fatalf("%d op classes regressed beyond %+.0f%% p99 latency", regressed, *loadThreshold)
+		}
+		fmt.Printf("benchguard: load report within %+.0f%% p99 of baseline\n", *loadThreshold)
+		return
+	}
 	if *baselinePath == "" || *currentPath == "" {
 		flag.Usage()
 		os.Exit(2)

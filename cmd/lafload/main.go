@@ -1,0 +1,83 @@
+// Command lafload is a load generator for lafserve: it drives a mixed
+// fit/predict/insert workload against a live server and reports achieved
+// throughput and per-operation latency quantiles, machine-readably.
+//
+// Usage:
+//
+//	lafload [-url http://localhost:8080] [-duration 10s] [-concurrency 8]
+//	        [-rate 0] [-mix predict=90,insert=8,fit=2] [-points 2000]
+//	        [-kind ms] [-eps 0.55] [-tau 5] [-seed 1] [-json report.json]
+//
+// With -rate 0 (the default) the run is closed-loop: each of the
+// -concurrency workers issues its next request as soon as the previous one
+// answers, so the achieved QPS is the server's capacity at that
+// concurrency. With -rate N the run is open-loop: arrivals are scheduled
+// at N requests/second independent of responses, and each sample's
+// latency is measured from its scheduled arrival — queueing delay counts,
+// so a saturated server shows up as growing latency rather than being
+// hidden by coordinated omission.
+//
+// Setup registers a synthetic dataset and fits one model; the workload
+// then mixes POST predict (sync), POST insert (async, 202; 429 counts as
+// backpressure, not error) and full fit+delete cycles per -mix. The JSON
+// report (see docs/OPERATIONS.md for the schema and a runbook) is written
+// to -json; a human summary always goes to stdout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lafload: ")
+	var cfg config
+	flag.StringVar(&cfg.URL, "url", "http://localhost:8080", "base URL of the lafserve instance")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "measurement window")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "concurrent workers")
+	flag.Float64Var(&cfg.Rate, "rate", 0, "target request rate per second (0 = closed loop)")
+	flag.StringVar(&cfg.Mix, "mix", "predict=90,insert=8,fit=2", "operation mix as name=weight pairs")
+	flag.IntVar(&cfg.Points, "points", 2000, "synthetic dataset size the model is fitted on")
+	flag.StringVar(&cfg.Kind, "kind", "ms", "synthetic dataset kind (ms, glove, nyt)")
+	flag.Float64Var(&cfg.Eps, "eps", 0.55, "clustering eps for the fitted model")
+	flag.IntVar(&cfg.Tau, "tau", 5, "clustering tau (minPts) for the fitted model")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "seed for synthetic data and workload choices")
+	flag.DurationVar(&cfg.Timeout, "timeout", 30*time.Second, "per-request timeout")
+	jsonPath := flag.String("json", "", "write the JSON report here (\"-\" for stdout)")
+	flag.Parse()
+	if err := cfg.validate(); err != nil {
+		log.Print(err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := run(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+	if *jsonPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonPath == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rep.Total.Errors > 0 {
+		os.Exit(1)
+	}
+}

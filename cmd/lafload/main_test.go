@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lafdbscan/internal/serve"
+)
+
+// startServer boots an in-process lafserve over httptest — the same
+// handler the binary serves, so the generator is tested against the real
+// API surface.
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := serve.NewServer(serve.Options{Workers: 2, QueueDepth: 8})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func testConfig(url string) config {
+	return config{
+		URL:         url,
+		Duration:    1500 * time.Millisecond,
+		Concurrency: 3,
+		Mix:         "predict=80,insert=15,fit=5",
+		Points:      150,
+		Kind:        "ms",
+		Eps:         0.55,
+		Tau:         5,
+		Seed:        1,
+		Timeout:     30 * time.Second,
+	}
+}
+
+// TestClosedLoopRun drives a short closed-loop run end to end and checks
+// the report's structure: every op class present, zero errors, ordered
+// quantiles, and a round-trippable JSON encoding.
+func TestClosedLoopRun(t *testing.T) {
+	ts := startServer(t)
+	cfg := testConfig(ts.URL)
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Count == 0 {
+		t.Fatal("run produced no samples")
+	}
+	if rep.Total.Errors != 0 {
+		t.Errorf("run produced %d errors (healthy server, want 0)", rep.Total.Errors)
+	}
+	pred, ok := rep.Ops[opPredict]
+	if !ok || pred.Count == 0 {
+		t.Fatalf("no predict samples in %v", rep.Ops)
+	}
+	l := pred.Latency
+	if !(l.P50 <= l.P90 && l.P90 <= l.P99 && l.P99 <= l.P999 && l.P999 <= l.Max) {
+		t.Errorf("predict quantiles out of order: %+v", l)
+	}
+	if l.P50 <= 0 || l.Max <= 0 {
+		t.Errorf("predict latencies not positive: %+v", l)
+	}
+	if rep.Total.QPS <= 0 {
+		t.Errorf("total qps = %v, want > 0", rep.Total.QPS)
+	}
+
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Ops[opPredict].Count != pred.Count {
+		t.Errorf("round-trip lost predict count: %d != %d", back.Ops[opPredict].Count, pred.Count)
+	}
+	if s := rep.Summary(); s == "" {
+		t.Error("empty human summary")
+	}
+	t.Logf("\n%s", rep.Summary())
+}
+
+// TestOpenLoopRun exercises the rate-paced path: arrivals are scheduled,
+// latency includes queue wait, and the dropped counter stays coherent.
+func TestOpenLoopRun(t *testing.T) {
+	ts := startServer(t)
+	cfg := testConfig(ts.URL)
+	cfg.Rate = 40
+	cfg.Mix = "predict=100"
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Count == 0 {
+		t.Fatal("open-loop run produced no samples")
+	}
+	if rep.Total.Errors != 0 {
+		t.Errorf("open-loop run produced %d errors", rep.Total.Errors)
+	}
+	// 40 req/s over ~1.5s: the sample count must be in the schedule's
+	// neighborhood, never wildly above it (closed-loop leakage).
+	if rep.Total.Count > 90 {
+		t.Errorf("open-loop run produced %d samples, want ~60 (rate-paced)", rep.Total.Count)
+	}
+}
+
+// TestMixParsing pins the mix grammar and its rejections.
+func TestMixParsing(t *testing.T) {
+	if _, err := parseMix("predict=90,insert=8,fit=2"); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	if _, err := parseMix("predict=100"); err != nil {
+		t.Errorf("single-op mix rejected: %v", err)
+	}
+	for _, bad := range []string{"", "foo=1", "predict", "predict=0,insert=0", "predict=-1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted, want error", bad)
+		}
+	}
+}
+
+// TestQuantile pins the interpolation against hand-computed values.
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.9, 9.1},
+	} {
+		if got := quantile(sorted, tc.q); got < tc.want-1e-9 || got > tc.want+1e-9 {
+			t.Errorf("quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(empty) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is lafload's machine-readable output. The schema is consumed by
+// cmd/benchguard's -load-baseline gate and documented in
+// docs/OPERATIONS.md — extend it additively.
+type Report struct {
+	GeneratedAt string              `json:"generated_at"`
+	Config      config              `json:"config"`
+	ElapsedS    float64             `json:"elapsed_s"`
+	Dropped     int64               `json:"dropped_arrivals,omitempty"`
+	Total       OpReport            `json:"total"`
+	Ops         map[string]OpReport `json:"ops"`
+}
+
+// OpReport aggregates one operation class (or the whole run, for Total).
+type OpReport struct {
+	Count    int           `json:"count"`
+	Errors   int           `json:"errors"`
+	Rejected int           `json:"rejected"`
+	QPS      float64       `json:"qps"`
+	Latency  LatencyReport `json:"latency_ms"`
+}
+
+// LatencyReport holds exact quantiles over every retained sample, in
+// milliseconds. Open-loop runs include queueing delay from the scheduled
+// arrival; closed-loop runs measure the request alone.
+type LatencyReport struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func buildReport(cfg config, samples []sample, dropped int64, elapsed time.Duration) *Report {
+	rep := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Config:      cfg,
+		ElapsedS:    elapsed.Seconds(),
+		Dropped:     dropped,
+		Ops:         make(map[string]OpReport),
+	}
+	byOp := make(map[string][]sample)
+	for _, s := range samples {
+		byOp[s.op] = append(byOp[s.op], s)
+	}
+	for op, ss := range byOp {
+		rep.Ops[op] = aggregate(ss, elapsed)
+	}
+	rep.Total = aggregate(samples, elapsed)
+	return rep
+}
+
+func aggregate(ss []sample, elapsed time.Duration) OpReport {
+	r := OpReport{Count: len(ss)}
+	lats := make([]float64, 0, len(ss))
+	sum := 0.0
+	for _, s := range ss {
+		switch {
+		case s.err:
+			r.Errors++
+		case s.rejected:
+			r.Rejected++
+		}
+		lats = append(lats, s.ms)
+		sum += s.ms
+	}
+	if elapsed > 0 {
+		r.QPS = float64(len(ss)) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		r.Latency = LatencyReport{
+			P50:  quantile(lats, 0.50),
+			P90:  quantile(lats, 0.90),
+			P99:  quantile(lats, 0.99),
+			P999: quantile(lats, 0.999),
+			Mean: sum / float64(len(lats)),
+			Max:  lats[len(lats)-1],
+		}
+	}
+	return r
+}
+
+// JSON renders the report indented, ending in a newline.
+func (r *Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Summary renders the human-readable table printed after every run.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	mode := "closed-loop"
+	if r.Config.Rate > 0 {
+		mode = fmt.Sprintf("open-loop @ %g req/s", r.Config.Rate)
+	}
+	fmt.Fprintf(&b, "lafload: %s, %d workers, %.1fs against %s\n",
+		mode, r.Config.Concurrency, r.ElapsedS, r.Config.URL)
+	fmt.Fprintf(&b, "%-8s %8s %8s %6s %6s %9s %9s %9s %9s\n",
+		"op", "count", "qps", "err", "rej", "p50ms", "p99ms", "p999ms", "maxms")
+	row := func(name string, o OpReport) {
+		fmt.Fprintf(&b, "%-8s %8d %8.1f %6d %6d %9.2f %9.2f %9.2f %9.2f\n",
+			name, o.Count, o.QPS, o.Errors, o.Rejected,
+			o.Latency.P50, o.Latency.P99, o.Latency.P999, o.Latency.Max)
+	}
+	ops := make([]string, 0, len(r.Ops))
+	for op := range r.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		row(op, r.Ops[op])
+	}
+	row("total", r.Total)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "dropped arrivals: %d (server could not keep up with -rate)\n", r.Dropped)
+	}
+	return b.String()
+}

@@ -13,6 +13,9 @@
 // submits a clustering job whose status, progress and labels are polled
 // under /v1/jobs/{id} (DELETE cancels it mid-run), and /v1/models fits,
 // stores, persists and serves predictions from reusable clustering models.
+// GET /metrics exposes Prometheus-format telemetry (per-endpoint request
+// counts and latency histograms, queue depth, worker occupancy, cache and
+// model activity); docs/OPERATIONS.md is the operator handbook.
 package main
 
 import (
@@ -91,7 +94,7 @@ func main() {
 		_ = hs.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("listening on %s (job workers: %d, queue: %d)", *addr, *workers, *queue)
+	log.Printf("listening on %s (job workers: %d, queue: %d, metrics at /metrics)", *addr, *workers, *queue)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -70,8 +70,9 @@ func TestClusterDirectivesAreLoadBearing(t *testing.T) {
 }
 
 // hotpathRoster is the set of functions this repository REQUIRES to stay
-// registered as hot paths: the wave callback chain and the vecmath kernels
-// the clustering loops call per point pair. Deleting one of these
+// registered as hot paths: the wave callback chain, the vecmath kernels
+// the clustering loops call per point pair, and the telemetry write path
+// every instrumented request touches. Deleting one of these
 // //lafvet:hotpath directives fails this test, so the annotations cannot
 // silently rot.
 var hotpathRoster = map[string][]string{
@@ -79,6 +80,7 @@ var hotpathRoster = map[string][]string{
 	"../vecmath/distance.go":        {"CosineDistance", "CosineDistanceUnit", "EuclideanDistance", "SquaredEuclidean"},
 	"../cluster/atomicunionfind.go": {"Find", "Union", "Same"},
 	"../cluster/wavemerge.go":       {"Absorb"},
+	"../telemetry/metrics.go":       {"Inc", "Add", "Set", "Dec", "Observe"},
 }
 
 func TestHotpathRoster(t *testing.T) {

@@ -7,6 +7,10 @@
 // model store serving the Fit/Predict lifecycle — fit, predict, persist,
 // and evolve fitted models online through the asynchronous insert/delete
 // maintenance endpoints. cmd/lafserve exposes everything over HTTP JSON.
+// Every route is instrumented through internal/telemetry; GET /metrics
+// serves the Prometheus-format view (request counts and latency histograms
+// per endpoint, queue depth, worker occupancy, cache and model-store
+// activity — docs/OPERATIONS.md catalogs every series).
 //
 // The design follows the paper's own economics one level up: LAF amortizes
 // a learned cardinality estimator across many range queries; a server

@@ -198,6 +198,10 @@ type Engine struct {
 	done      atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
+	// queries totals completed range queries across every job, fed by the
+	// same wave-progress hook as the per-job counters — the engine-wide
+	// throughput signal /metrics and /v1/stats report.
+	queries atomic.Int64
 
 	maxJobs int
 	baseCtx context.Context
@@ -215,6 +219,9 @@ type EngineStats struct {
 	Done        int64 `json:"done"`
 	Failed      int64 `json:"failed"`
 	Canceled    int64 `json:"canceled"`
+	// QueriesDone totals completed range queries across all jobs — the
+	// engine-wide sum of every job's queries_done progress counter.
+	QueriesDone int64 `json:"queries_done"`
 }
 
 // NewEngine builds an engine over a registry and estimator cache and starts
@@ -486,6 +493,7 @@ func (e *Engine) Stats() EngineStats {
 		Done:        e.done.Load(),
 		Failed:      e.failed.Load(),
 		Canceled:    e.canceled.Load(),
+		QueriesDone: e.queries.Load(),
 	}
 }
 
@@ -596,7 +604,10 @@ func (e *Engine) runJob(job *Job) {
 // resolution and run their closure under the hooked context directly.
 func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, error) {
 	if job.exec != nil {
-		ctx = index.WithWaveProgress(ctx, func(q int) { job.queriesDone.Add(int64(q)) })
+		ctx = index.WithWaveProgress(ctx, func(q int) {
+			job.queriesDone.Add(int64(q))
+			e.queries.Add(int64(q))
+		})
 		return job.exec(ctx)
 	}
 	spec := job.spec
@@ -618,7 +629,10 @@ func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, erro
 		job.mu.Unlock()
 		p.Estimator = est
 	}
-	ctx = index.WithWaveProgress(ctx, func(q int) { job.queriesDone.Add(int64(q)) })
+	ctx = index.WithWaveProgress(ctx, func(q int) {
+		job.queriesDone.Add(int64(q))
+		e.queries.Add(int64(q))
+	})
 	return e.run(ctx, ds.Vectors, spec.Method, p)
 }
 

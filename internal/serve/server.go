@@ -8,10 +8,11 @@ import (
 	"time"
 
 	"lafdbscan"
+	"lafdbscan/internal/telemetry"
 )
 
 // Server is the HTTP JSON facade over the registry, the estimator cache
-// and the job engine. Routes (all under /v1):
+// and the job engine. Routes (all under /v1, plus the scrape endpoint):
 //
 //	POST   /v1/datasets          register a dataset (file, synthetic or inline vectors)
 //	GET    /v1/datasets          list registered datasets
@@ -33,11 +34,18 @@ import (
 //	POST   /v1/models/{id}/delete   async: drop point ids from the clustering (202, job id)
 //	GET    /v1/stats             registry / cache / engine / model counters
 //	GET    /v1/healthz           liveness
+//	GET    /metrics              Prometheus text-format scrape endpoint
+//
+// Every route is instrumented through internal/telemetry: request counts
+// and latency histograms per route pattern, in-flight and rejection
+// counters, plus scrape-time bridges into the engine, cache and store
+// counters (the catalog lives in docs/OPERATIONS.md).
 type Server struct {
-	reg    *Registry
-	est    *EstimatorCache
-	eng    *Engine
-	models *ModelStore
+	reg     *Registry
+	est     *EstimatorCache
+	eng     *Engine
+	models  *ModelStore
+	metrics *serverMetrics
 	// fitSlots caps concurrent synchronous model fits at the job engine's
 	// worker count, so a burst of POST /v1/models cannot oversubscribe the
 	// machine past the concurrency budget the bounded engine enforces for
@@ -54,18 +62,30 @@ func NewServer(opts Options) *Server {
 	reg := NewRegistry()
 	est := NewEstimatorCache()
 	eng := NewEngine(reg, est, opts)
+	mreg := telemetry.NewRegistry()
 	s := &Server{
 		reg:      reg,
 		est:      est,
 		eng:      eng,
 		models:   NewModelStore(opts.MaxModels),
+		metrics:  newServerMetrics(mreg),
 		fitSlots: make(chan struct{}, eng.workers),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 	}
+	reg.registerMetrics(mreg)
+	est.registerMetrics(mreg)
+	eng.registerMetrics(mreg)
+	s.models.registerMetrics(mreg)
+	mreg.GaugeFunc("laf_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
 	s.routes()
 	return s
 }
+
+// Metrics exposes the server's telemetry registry (cmd/lafserve logs a
+// startup summary through it; tests scrape it directly).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
 
 // Registry exposes the server's dataset registry (cmd/lafserve preloads
 // datasets from flags through it).
@@ -77,31 +97,50 @@ func (s *Server) Close() { s.eng.Close() }
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// handle registers one instrumented route: the pattern becomes the
+// endpoint label of the route's request counter and latency histogram
+// (bounded cardinality — raw paths never reach a label).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+}
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
-	s.mux.HandleFunc("POST /v1/estimators", s.handleTrainEstimator)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.mux.HandleFunc("POST /v1/models", s.handleFitModel)
-	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	s.handle("POST /v1/datasets", s.handleRegisterDataset)
+	s.handle("GET /v1/datasets", s.handleListDatasets)
+	s.handle("GET /v1/datasets/{name}", s.handleGetDataset)
+	s.handle("POST /v1/estimators", s.handleTrainEstimator)
+	s.handle("POST /v1/jobs", s.handleSubmitJob)
+	s.handle("GET /v1/jobs", s.handleListJobs)
+	s.handle("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.handle("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.handle("POST /v1/models", s.handleFitModel)
+	s.handle("GET /v1/models", s.handleListModels)
 	// "load" is a reserved id: the literal route wins over the {id} pattern
 	// under the Go 1.22 mux's most-specific rule.
-	s.mux.HandleFunc("POST /v1/models/load", s.handleLoadModel)
-	s.mux.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
-	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
-	s.mux.HandleFunc("GET /v1/models/{id}/save", s.handleSaveModel)
-	s.mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
-	s.mux.HandleFunc("POST /v1/models/{id}/insert", s.handleInsertModel)
-	s.mux.HandleFunc("POST /v1/models/{id}/delete", s.handleRemovePoints)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /v1/models/load", s.handleLoadModel)
+	s.handle("GET /v1/models/{id}", s.handleGetModel)
+	s.handle("DELETE /v1/models/{id}", s.handleDeleteModel)
+	s.handle("GET /v1/models/{id}/save", s.handleSaveModel)
+	s.handle("POST /v1/models/{id}/predict", s.handlePredict)
+	s.handle("POST /v1/models/{id}/insert", s.handleInsertModel)
+	s.handle("POST /v1/models/{id}/delete", s.handleRemovePoints)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// The scrape endpoint itself is not instrumented: scrapes measuring
+	// themselves would be noise in every latency panel.
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	// Catch-all: requests matching no route still get counted (under the
+	// fixed "other" endpoint label, never the raw path) before their JSON
+	// 404. Go 1.22's mux has no post-match pattern hook, so an explicit
+	// least-specific route is how unmatched traffic becomes observable.
+	s.mux.HandleFunc("/", s.metrics.instrument(endpointUnknown,
+		func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("serve: no route for %s %s", r.Method, r.URL.Path))
+		}))
 }
 
 // --- wire formats ---

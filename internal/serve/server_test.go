@@ -318,8 +318,32 @@ func TestServerSmoke(t *testing.T) {
 	if models["inserts"].(float64) < 1 || models["points_inserted"].(float64) < grow {
 		t.Errorf("update counters not reflected in stats: %v", models)
 	}
-	t.Logf("smoke OK: ARI=1.0 (job + post-insert), estimator cache %v, jobs %v, models %v",
-		cache, body["jobs"], models)
+	if qd, ok := body["jobs"].(map[string]any)["queries_done"].(float64); !ok || qd < float64(n) {
+		t.Errorf("stats jobs queries_done = %v, want >= %d", body["jobs"].(map[string]any)["queries_done"], n)
+	}
+
+	// 12. /metrics parses as Prometheus text format and carries the request
+	// histogram the walkthrough just fed — the serve-smoke CI job's
+	// observability assertion, run against the live binary.
+	samples, families := scrapeMetrics(t, base)
+	if len(families) < 10 {
+		t.Errorf("/metrics exports %d families, want >= 10", len(families))
+	}
+	if families["laf_http_request_duration_seconds"] != "histogram" {
+		t.Errorf("request duration family = %q, want histogram", families["laf_http_request_duration_seconds"])
+	}
+	if got := samples[`laf_http_request_duration_seconds_bucket{endpoint="POST /v1/jobs",le="+Inf"}`]; got < 1 {
+		t.Errorf("POST /v1/jobs histogram count = %v, want >= 1", got)
+	}
+	if got := samples[`laf_http_requests_total{code="202",endpoint="POST /v1/jobs"}`]; got < 1 {
+		t.Errorf("POST /v1/jobs 202 counter = %v, want >= 1", got)
+	}
+	if got := samples["laf_wave_queries_total"]; got < float64(n) {
+		t.Errorf("laf_wave_queries_total = %v, want >= %d", got, n)
+	}
+
+	t.Logf("smoke OK: ARI=1.0 (job + post-insert), estimator cache %v, jobs %v, models %v, %d metric families",
+		cache, body["jobs"], models, len(families))
 }
 
 // TestServerHTTPStatusMapping pins the error contract of the HTTP layer:

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"lafdbscan/internal/telemetry"
+)
+
+// This file is the server's observability wiring: every exported series,
+// the HTTP middleware that feeds the per-endpoint instruments, and the
+// scrape-time bridges into the counters the engine, caches and stores
+// already maintain. docs/OPERATIONS.md is the operator-facing catalog of
+// everything registered here — keep the two in sync.
+
+// serverMetrics holds the HTTP-layer instruments. Per-endpoint histograms
+// are resolved once at route registration; per-(endpoint, code) counters
+// are resolved on first occurrence of the code (a mutex-guarded lookup,
+// off the request path's critical section only by a handful of ns — the
+// request itself just did real work).
+type serverMetrics struct {
+	reg      *telemetry.Registry
+	inflight *telemetry.Gauge
+}
+
+// Series names and help strings of the HTTP layer.
+const (
+	metricRequests  = "laf_http_requests_total"
+	metricDuration  = "laf_http_request_duration_seconds"
+	metricInflight  = "laf_http_inflight_requests"
+	metricRejects   = "laf_http_rejections_total"
+	helpRequests    = "HTTP requests served, by route pattern and status code."
+	helpDuration    = "HTTP request latency in seconds, by route pattern."
+	helpInflight    = "HTTP requests currently being served."
+	helpRejects     = "Requests refused with backpressure or capacity statuses (429 queue/fit slots, 409 model store)."
+	endpointUnknown = "other"
+)
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg:      reg,
+		inflight: reg.Gauge(metricInflight, helpInflight),
+	}
+}
+
+// statusRecorder captures the status code a handler commits, defaulting to
+// 200 for handlers that write the body directly.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route's handler with the endpoint's request
+// counter, latency histogram and in-flight gauge. endpoint is the route
+// pattern (bounded cardinality by construction — raw request paths never
+// become label values).
+func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := m.reg.Histogram(metricDuration, helpDuration, nil,
+		telemetry.Label{Name: "endpoint", Value: endpoint})
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		m.inflight.Dec()
+		code := strconv.Itoa(rec.code)
+		m.reg.Counter(metricRequests, helpRequests,
+			telemetry.Label{Name: "endpoint", Value: endpoint},
+			telemetry.Label{Name: "code", Value: code}).Inc()
+		if rec.code == http.StatusTooManyRequests || rec.code == http.StatusConflict {
+			m.reg.Counter(metricRejects, helpRejects,
+				telemetry.Label{Name: "code", Value: code}).Inc()
+		}
+	}
+}
+
+// registerMetrics bridges the engine's own atomic counters into the
+// registry: queue depth and worker occupancy as gauges, the lifecycle
+// totals and the engine-wide wave progress as counters. All are read at
+// scrape time, so the job path pays nothing beyond what it already did.
+func (e *Engine) registerMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("laf_jobs_workers", "Size of the job engine's worker pool.",
+		func() float64 { return float64(e.workers) })
+	reg.GaugeFunc("laf_jobs_busy_workers", "Workers currently executing a job.",
+		func() float64 { return float64(e.busy.Load()) })
+	reg.GaugeFunc("laf_jobs_queued", "Jobs accepted but not yet running (current queue depth).",
+		func() float64 {
+			e.mu.Lock()
+			n := len(e.pending)
+			e.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("laf_jobs_queue_capacity", "Queued-job capacity; beyond it submissions get 429.",
+		func() float64 { return float64(e.qdepth) })
+	reg.CounterFunc("laf_jobs_submitted_total", "Jobs accepted by Submit/SubmitFunc.",
+		e.submitted.Load)
+	reg.CounterFunc("laf_jobs_done_total", "Jobs finished successfully.", e.done.Load)
+	reg.CounterFunc("laf_jobs_failed_total", "Jobs finished with an error.", e.failed.Load)
+	reg.CounterFunc("laf_jobs_canceled_total", "Jobs canceled (queued or mid-run).", e.canceled.Load)
+	reg.CounterFunc("laf_wave_queries_total",
+		"Range queries completed across all jobs, reported at every wave barrier (the queries_done rate).",
+		e.queries.Load)
+}
+
+// registerMetrics exports the estimator cache's amortization counters.
+func (c *EstimatorCache) registerMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("laf_estimator_cache_entries", "Trained estimators resident in the cache.",
+		func() float64 { return float64(c.Stats().Entries) })
+	reg.CounterFunc("laf_estimator_cache_hits_total",
+		"Estimator requests answered by a previous (or concurrent) training.", c.hits.Load)
+	reg.CounterFunc("laf_estimator_cache_misses_total",
+		"Estimator requests that paid for a training.", c.misses.Load)
+}
+
+// registerMetrics exports the model store's occupancy and activity.
+func (s *ModelStore) registerMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("laf_models_stored", "Models resident in the store.",
+		func() float64 {
+			s.mu.Lock()
+			n := len(s.entries)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("laf_models_capacity", "Model store capacity; at it, fits and loads get 409.",
+		func() float64 { return float64(s.cap) })
+	reg.CounterFunc("laf_model_fits_total", "Models fitted through POST /v1/models.", s.fitted.Load)
+	reg.CounterFunc("laf_model_loads_total", "Models uploaded through /v1/models/load.", s.loaded.Load)
+	reg.CounterFunc("laf_model_deletes_total", "Models deleted from the store.", s.deleted.Load)
+	reg.CounterFunc("laf_model_predictions_total", "Successful predict requests.", s.predictions.Load)
+	const updatesHelp = "Completed maintenance operations, by kind (insert/remove)."
+	reg.CounterFunc("laf_model_updates_total", updatesHelp,
+		s.inserts.Load, telemetry.Label{Name: "kind", Value: "insert"})
+	reg.CounterFunc("laf_model_updates_total", updatesHelp,
+		s.removes.Load, telemetry.Label{Name: "kind", Value: "remove"})
+	const pointsHelp = "Points moved by maintenance operations, by kind (insert/remove)."
+	reg.CounterFunc("laf_model_points_updated_total", pointsHelp,
+		s.pointsInserted.Load, telemetry.Label{Name: "kind", Value: "insert"})
+	reg.CounterFunc("laf_model_points_updated_total", pointsHelp,
+		s.pointsRemoved.Load, telemetry.Label{Name: "kind", Value: "remove"})
+}
+
+// registerMetrics exports the dataset registry's population.
+func (r *Registry) registerMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("laf_datasets_registered", "Datasets resident in the registry.",
+		func() float64 { return float64(r.Len()) })
+}

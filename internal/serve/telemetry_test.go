@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lafdbscan"
+)
+
+// sampleLine matches one Prometheus text-format sample:
+// name{labels} value (the label block optional). The label block matches
+// greedily because label values may themselves contain braces — the route
+// patterns ("GET /v1/datasets/{name}") do.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$`)
+
+// scrapeMetrics fetches and parses base/metrics, failing the test on any
+// malformed line. It returns every sample keyed by its full series string
+// (name + rendered labels) plus the set of family names seen in # TYPE
+// lines — a real scraper's view of the endpoint.
+func scrapeMetrics(t *testing.T, base string) (samples map[string]float64, families map[string]string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition format", ct)
+	}
+	samples = make(map[string]float64)
+	families = make(map[string]string)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			families[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, families
+}
+
+// TestMetricsMiddleware drives the 200, 404 (route-level and unmatched)
+// and 429 paths and asserts the corresponding counters move, the latency
+// histogram fills, the queue-depth gauge reflects the blocked engine, and
+// the endpoint serves the acceptance floor of ≥ 10 distinct families.
+func TestMetricsMiddleware(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	s := NewServer(Options{
+		Workers: 1, QueueDepth: 1,
+		Run: func(ctx context.Context, pts [][]float32, m lafdbscan.Method, p lafdbscan.Params) (*lafdbscan.Result, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return &lafdbscan.Result{Labels: make([]int, len(pts))}, nil
+		},
+	})
+	defer s.Close()
+	defer close(release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 200 path.
+	if code, _ := getJSON(t, ts.URL+"/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	// Route-level 404 (matched pattern, unknown name).
+	if code, _ := getJSON(t, ts.URL+"/v1/datasets/none"); code != http.StatusNotFound {
+		t.Fatalf("unknown dataset: %d", code)
+	}
+	// Unmatched path: the catch-all observes it under endpoint="other".
+	if code, _ := getJSON(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unmatched path: %d", code)
+	}
+	// 429 path: one job running, one queued, the third refused.
+	if code, body := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "d", "synthetic": map[string]any{"kind": "ms", "n": 60, "seed": 1},
+	}); code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	job := map[string]any{"dataset": "d", "method": "dbscan",
+		"params": map[string]any{"eps": 0.55, "tau": 5}}
+	if code, body := postJSON(t, ts.URL+"/v1/jobs", job); code != http.StatusAccepted {
+		t.Fatalf("job 1: %d %v", code, body)
+	}
+	<-started // job 1 holds the only worker
+	if code, body := postJSON(t, ts.URL+"/v1/jobs", job); code != http.StatusAccepted {
+		t.Fatalf("job 2: %d %v", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/jobs", job); code != http.StatusTooManyRequests {
+		t.Fatalf("job 3: %d, want 429", code)
+	}
+
+	samples, families := scrapeMetrics(t, ts.URL)
+
+	wantAtLeast := map[string]float64{
+		`laf_http_requests_total{code="200",endpoint="GET /v1/healthz"}`:               1,
+		`laf_http_requests_total{code="404",endpoint="GET /v1/datasets/{name}"}`:       1,
+		`laf_http_requests_total{code="404",endpoint="other"}`:                         1,
+		`laf_http_requests_total{code="429",endpoint="POST /v1/jobs"}`:                 1,
+		`laf_http_requests_total{code="202",endpoint="POST /v1/jobs"}`:                 2,
+		`laf_http_rejections_total{code="429"}`:                                        1,
+		`laf_http_request_duration_seconds_count{endpoint="GET /v1/healthz"}`:          1,
+		`laf_http_request_duration_seconds_bucket{endpoint="POST /v1/jobs",le="+Inf"}`: 3,
+		`laf_jobs_workers`:         1,
+		`laf_jobs_busy_workers`:    1,
+		`laf_jobs_queued`:          1,
+		`laf_jobs_queue_capacity`:  1,
+		`laf_jobs_submitted_total`: 2,
+		`laf_datasets_registered`:  1,
+	}
+	for series, min := range wantAtLeast {
+		got, ok := samples[series]
+		if !ok {
+			t.Errorf("series %s missing from /metrics", series)
+			continue
+		}
+		if got < min {
+			t.Errorf("%s = %v, want >= %v", series, got, min)
+		}
+	}
+	// The request histogram's sum must be positive once requests flowed.
+	if sum := samples[`laf_http_request_duration_seconds_sum{endpoint="GET /v1/healthz"}`]; sum <= 0 {
+		t.Errorf("healthz latency sum = %v, want > 0", sum)
+	}
+	// Acceptance floor: at least 10 distinct metric families, including
+	// the request histogram, queue gauge, and cache hit/miss counters.
+	if len(families) < 10 {
+		t.Errorf("/metrics exports %d families, want >= 10: %v", len(families), families)
+	}
+	for name, typ := range map[string]string{
+		"laf_http_request_duration_seconds": "histogram",
+		"laf_http_requests_total":           "counter",
+		"laf_jobs_queued":                   "gauge",
+		"laf_estimator_cache_hits_total":    "counter",
+		"laf_estimator_cache_misses_total":  "counter",
+		"laf_model_predictions_total":       "counter",
+		"laf_wave_queries_total":            "counter",
+	} {
+		if families[name] != typ {
+			t.Errorf("family %s has type %q, want %q", name, families[name], typ)
+		}
+	}
+	// The scrape endpoint itself must not appear as an endpoint label.
+	for series := range samples {
+		if strings.Contains(series, `endpoint="GET /metrics"`) {
+			t.Errorf("scrape endpoint instrumented itself: %s", series)
+		}
+	}
+}
+
+// TestStatsQueriesDone pins the /v1/stats extension: the engine-wide
+// queries_done total appears and moves once a real clustering job runs.
+func TestStatsQueriesDone(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "d", "synthetic": map[string]any{"kind": "ms", "n": 80, "seed": 1},
+	}); code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	code, body := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"dataset": "d", "method": "dbscan",
+		"params": map[string]any{"eps": 0.55, "tau": 5, "workers": 1},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	waitState(t, s.eng, body["id"].(string), JobDone)
+
+	code, body = getJSON(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %v", code, body)
+	}
+	jobs := body["jobs"].(map[string]any)
+	qd, ok := jobs["queries_done"].(float64)
+	if !ok {
+		t.Fatalf("stats jobs payload missing queries_done: %v", jobs)
+	}
+	if qd < 80 {
+		t.Errorf("queries_done = %v, want >= 80 (every point queried once)", qd)
+	}
+	// /metrics agrees with /v1/stats on the same counter.
+	samples, _ := scrapeMetrics(t, ts.URL)
+	if got := samples["laf_wave_queries_total"]; got != qd {
+		t.Errorf("laf_wave_queries_total = %v, /v1/stats queries_done = %v — one scrape, two answers", got, qd)
+	}
+}

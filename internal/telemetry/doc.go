@@ -1,0 +1,31 @@
+// Package telemetry is the repository's dependency-free metrics layer:
+// atomic counters, gauges and fixed-bucket latency histograms, collected
+// in a Registry that renders the Prometheus text exposition format.
+//
+// The package exists because every future "faster" claim — a new index
+// backend, a SIMD kernel, shard-and-merge — needs a feedback loop measured
+// on the serving path, not just in microbenchmarks. internal/serve wires a
+// Registry through its HTTP middleware and engines; GET /metrics on
+// lafserve scrapes it; cmd/lafload drives load against it and reports the
+// latency quantiles the histograms here make derivable.
+//
+// Design constraints, in order:
+//
+//   - The write path is wait-free and allocation-free. Counter.Inc,
+//     Gauge.Set and Histogram.Observe are single atomic operations (plus a
+//     CAS loop for float sums) registered as //lafvet:hotpath, so the
+//     hotalloc analyzer rejects any future allocation there. Instruments
+//     are resolved once (at route registration, engine construction) and
+//     the resolved pointer is what the request path touches.
+//   - No dependencies. The exporter writes the Prometheus text format
+//     directly — a stable, line-oriented protocol — rather than importing
+//     a client library the container may not have.
+//   - Scrapes are consistent enough: each series is read atomically;
+//     cross-series skew of an in-flight scrape is acceptable (the same
+//     contract Prometheus clients provide without locks).
+//
+// Histograms use fixed upper-bound buckets (DefBuckets spans 100µs–10s for
+// request latencies). Quantile estimates interpolate linearly within the
+// bucket containing the target rank, so the estimation error is bounded by
+// the width of that bucket — the property telemetry tests pin.
+package telemetry

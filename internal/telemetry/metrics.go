@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing series (Prometheus type counter).
+// The zero value is ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+//
+//lafvet:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters are monotone by contract; negative n is the
+// caller's bug and is applied as-is rather than hiding it behind a check
+// the hot path would pay for.
+//
+//lafvet:hotpath
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a series that goes up and down (Prometheus type gauge), stored
+// as float64 bits in one atomic word. The zero value reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+//
+//lafvet:hotpath
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add folds a delta into the gauge under a CAS loop (wait-free in the
+// uncontended case, lock-free always).
+//
+//lafvet:hotpath
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+//
+//lafvet:hotpath
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+//
+//lafvet:hotpath
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets is the default latency histogram layout, in seconds: roughly
+// logarithmic from 100µs to 10s, the band a clustering service's endpoints
+// actually occupy (predict ≈ ms, fit ≈ s). Requests beyond 10s land in the
+// implicit +Inf bucket.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed cumulative-exportable buckets
+// (Prometheus type histogram). Buckets are upper bounds in ascending
+// order; an implicit +Inf bucket catches the rest. The write path is a
+// linear scan over the bounds (≤ ~16 comparisons) plus three atomic
+// operations — no locks, no allocation.
+type Histogram struct {
+	// bounds are the inclusive upper bounds, ascending, set at construction
+	// and immutable afterwards.
+	bounds []float64
+	// counts[i] counts observations v with v <= bounds[i] (and > the
+	// previous bound); counts[len(bounds)] is the +Inf bucket.
+	counts []atomic.Int64
+	count  atomic.Int64
+	// sumBits accumulates the observation sum as float64 bits under CAS.
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (nil selects DefBuckets). Bounds must be strictly increasing; violations
+// panic at construction, never on the observe path.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+//
+//lafvet:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time read of a histogram, shaped for the
+// exporter: Counts are per-bucket (not cumulative) and parallel to Bounds,
+// with the final entry the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot reads the histogram. Buckets are read individually (each read
+// is atomic); a scrape racing observations may see a sum slightly ahead of
+// or behind the buckets, which the text format tolerates by design.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by locating the bucket holding the target rank and
+// interpolating linearly inside it. The estimate therefore lies within the
+// bucket containing the true quantile: the absolute error is bounded by
+// that bucket's width (for the +Inf bucket, the estimate is the last
+// finite bound — a lower bound on the truth). Returns NaN when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Quantile estimates the q-quantile from a snapshot; see
+// Histogram.Quantile for the error bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation under the
+	// "nearest rank" definition; cum walks the buckets to find it.
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i == len(s.Bounds) {
+			// +Inf bucket: no upper bound to interpolate toward; report the
+			// largest finite bound (or 0 for a bound-less histogram) — a
+			// lower bound on the true quantile.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		// Linear interpolation by rank position within the bucket.
+		frac := float64(rank-cum) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	// Unreachable while Count == sum(Counts); degrade to the top bound.
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a series. Within a metric
+// family, the set of label names should be consistent (the Prometheus data
+// model); the registry does not enforce it, it just renders what it is
+// given.
+type Label struct {
+	Name, Value string
+}
+
+// kind is a family's metric type, rendered into the # TYPE line.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Instrument lookups (Counter, Gauge, Histogram, …) are
+// get-or-create and intended for setup paths — resolve once, keep the
+// pointer; the returned instruments themselves are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	series     map[string]*series // keyed by rendered label block
+	order      []string           // insertion order of label blocks
+}
+
+// series is one labeled instrument. Exactly one of the value fields is
+// set, matching the family kind; fn-backed series are read at scrape time
+// (the bridge to counters other subsystems already maintain).
+type series struct {
+	labels    string // rendered `{a="b",…}`, or "" for an unlabeled series
+	counter   *Counter
+	counterFn func() int64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under name with the given labels,
+// creating it on first use. Registering the same name as a different
+// metric type panics — that is a programming error, not an operational
+// condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getOrCreate(name, help, kindCounter, labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for subsystems that already keep their own
+// atomic counters (the job engine, the estimator cache). Re-registering
+// the same (name, labels) replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	s := r.getOrCreate(name, help, kindCounter, labels)
+	s.counterFn = fn
+}
+
+// Gauge returns the gauge registered under name with the given labels,
+// creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getOrCreate(name, help, kindGauge, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+// Re-registering the same (name, labels) replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.getOrCreate(name, help, kindGauge, labels)
+	s.gaugeFn = fn
+}
+
+// Histogram returns the histogram registered under name with the given
+// labels, creating it over bounds (nil selects DefBuckets) on first use.
+// An existing histogram keeps its original bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.getOrCreate(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// getOrCreate resolves (name, labels) to its series under the registry
+// lock, creating family and series as needed.
+func (r *Registry) getOrCreate(name, help string, k kind, labels []Label) *series {
+	lb := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	s, ok := f.series[lb]
+	if !ok {
+		s = &series{labels: lb}
+		f.series[lb] = s
+		f.order = append(f.order, lb)
+	}
+	return s
+}
+
+// renderLabels renders a sorted `{a="b",c="d"}` block ("" when empty).
+// Sorting makes the rendered block a canonical key: the same label set in
+// any order resolves to the same series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the text-format escaping rules for label
+// values: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series in registration
+// order, histograms expanded into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the family structure under the lock; values are read
+	// lock-free afterwards (each series is internally atomic).
+	type famSnap struct {
+		f      *family
+		series []*series
+	}
+	snaps := make([]famSnap, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fs := famSnap{f: f}
+		for _, lb := range f.order {
+			fs.series = append(fs.series, f.series[lb])
+		}
+		snaps = append(snaps, fs)
+	}
+	r.mu.Unlock()
+
+	for _, fs := range snaps {
+		f := fs.f
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range fs.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series' sample lines.
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		v := int64(0)
+		switch {
+		case s.counterFn != nil:
+			v = s.counterFn()
+		case s.counter != nil:
+			v = s.counter.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, v)
+		return err
+	case kindGauge:
+		v := 0.0
+		switch {
+		case s.gaugeFn != nil:
+			v = s.gaugeFn()
+		case s.gauge != nil:
+			v = s.gauge.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(v))
+		return err
+	case kindHistogram:
+		if s.hist == nil {
+			return nil
+		}
+		snap := s.hist.Snapshot()
+		var cum int64
+		for i, b := range snap.Bounds {
+			cum += snap.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, withLE(s.labels, formatFloat(b)), cum); err != nil {
+				return err
+			}
+		}
+		cum += snap.Counts[len(snap.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(snap.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+		return err
+	}
+	return nil
+}
+
+// withLE merges the le bucket label into a rendered label block.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format — the body behind GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Headers are committed with the first write; a mid-stream error can
+		// only abort the connection.
+		_ = r.WritePrometheus(w)
+	})
+}

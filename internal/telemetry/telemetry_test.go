@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucketing rule: an observation
+// lands in the first bucket whose upper bound is >= the value (bounds are
+// inclusive), values beyond the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // at the bound: inclusive
+		{1.0001, 1}, {2, 1},
+		{3, 2}, {4, 2},
+		{4.0001, 3}, {100, 3}, // +Inf
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := make([]int64, 4)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Counts[i], want[i])
+		}
+	}
+	if s.Count != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", s.Count, len(cases))
+	}
+	var sum float64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if math.Abs(s.Sum-sum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, sum)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted non-increasing bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1, 2})
+}
+
+// TestQuantileErrorBound is the estimator's accuracy contract: for any
+// quantile, the histogram estimate lies within the bucket containing the
+// true (nearest-rank) quantile, so the absolute error is bounded by that
+// bucket's width. Checked against exact quantiles of a deterministic
+// random sample across the default latency buckets.
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram(nil) // DefBuckets
+	const n = 20000
+	samples := make([]float64, n)
+	for i := range samples {
+		// Log-uniform over (100µs, 5s): exercises most buckets.
+		v := math.Exp(math.Log(1e-4) + rng.Float64()*(math.Log(5)-math.Log(1e-4)))
+		samples[i] = v
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		truth := samples[rank]
+		est := h.Quantile(q)
+		// The bucket containing the truth.
+		lo, hi := 0.0, math.Inf(1)
+		for i, b := range DefBuckets {
+			if truth <= b {
+				hi = b
+				if i > 0 {
+					lo = DefBuckets[i-1]
+				}
+				break
+			}
+		}
+		if est < lo || est > hi {
+			t.Errorf("q=%v: estimate %v outside truth's bucket [%v, %v] (truth %v)",
+				q, est, lo, hi, truth)
+		}
+		if math.Abs(est-truth) > hi-lo {
+			t.Errorf("q=%v: |%v - %v| exceeds bucket width %v", q, est, truth, hi-lo)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	h.Observe(100) // +Inf bucket only
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("all-overflow quantile = %v, want last finite bound 2", got)
+	}
+	h2 := NewHistogram([]float64{10})
+	h2.Observe(1)
+	if got := h2.Quantile(0); got < 0 || got > 10 {
+		t.Errorf("q=0 = %v, want within [0, 10]", got)
+	}
+	if got := h2.Quantile(1); got < 0 || got > 10 {
+		t.Errorf("q=1 = %v, want within [0, 10]", got)
+	}
+}
+
+// TestConcurrentIncrements hammers every instrument from parallel
+// goroutines; run under -race this is the lock-freedom proof, and the
+// totals must be exact (no lost updates).
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("laf_test_total", "t")
+	g := r.Gauge("laf_test_gauge", "t")
+	h := r.Histogram("laf_test_seconds", "t", []float64{0.25, 0.5, 0.75})
+
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(rng.Float64())
+			}
+		}(int64(w))
+	}
+	// A concurrent scraper: rendering during writes must be safe.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("concurrent scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = workers * perWorker
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Errorf("gauge = %v, want %d", g.Value(), total)
+	}
+	s := h.Snapshot()
+	if s.Count != total {
+		t.Errorf("histogram count = %d, want %d", s.Count, total)
+	}
+	var bucketSum int64
+	for _, n := range s.Counts {
+		bucketSum += n
+	}
+	if bucketSum != total {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, total)
+	}
+}
+
+// TestPrometheusOutput pins the exposition format: HELP/TYPE lines,
+// label rendering and escaping, cumulative histogram buckets, and the
+// sorted family order a scraper relies on being stable.
+func TestPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("laf_b_total", "b counter", Label{"endpoint", "/v1/jobs"}, Label{"code", "200"}).Add(3)
+	r.Gauge("laf_a_gauge", "a gauge").Set(2.5)
+	h := r.Histogram("laf_c_seconds", "c histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("laf_d_dynamic", "fn gauge", func() float64 { return 42 })
+	r.CounterFunc("laf_e_total", "fn counter", func() int64 { return 7 })
+	r.Counter("laf_f_total", "escaped", Label{"path", `a"b\c` + "\n"}).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	wantLines := []string{
+		"# HELP laf_a_gauge a gauge",
+		"# TYPE laf_a_gauge gauge",
+		"laf_a_gauge 2.5",
+		"# TYPE laf_b_total counter",
+		`laf_b_total{code="200",endpoint="/v1/jobs"} 3`,
+		"# TYPE laf_c_seconds histogram",
+		`laf_c_seconds_bucket{le="0.1"} 2`,
+		`laf_c_seconds_bucket{le="1"} 3`,
+		`laf_c_seconds_bucket{le="+Inf"} 4`,
+		"laf_c_seconds_sum 5.6",
+		"laf_c_seconds_count 4",
+		"laf_d_dynamic 42",
+		"laf_e_total 7",
+		`laf_f_total{path="a\"b\\c\n"} 1`,
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("output missing line %q\n--- got:\n%s", w, out)
+		}
+	}
+	// Families render sorted by name: a before b before c.
+	ia, ib, ic := strings.Index(out, "laf_a_gauge"), strings.Index(out, "laf_b_total"), strings.Index(out, "laf_c_seconds")
+	if !(ia < ib && ib < ic) {
+		t.Errorf("families not sorted by name: positions a=%d b=%d c=%d", ia, ib, ic)
+	}
+}
+
+// TestSeriesIdentity pins get-or-create semantics: same (name, labels) —
+// in any label order — is the same instrument; different labels are
+// different series under one family; a type conflict panics.
+func TestSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("laf_x_total", "x", Label{"a", "1"}, Label{"b", "2"})
+	c2 := r.Counter("laf_x_total", "x", Label{"b", "2"}, Label{"a", "1"})
+	if c1 != c2 {
+		t.Error("label order created distinct series")
+	}
+	c3 := r.Counter("laf_x_total", "x", Label{"a", "other"})
+	if c3 == c1 {
+		t.Error("distinct labels shared a series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("laf_x_total", "x")
+}
