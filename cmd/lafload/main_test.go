@@ -132,6 +132,39 @@ func TestMixParsing(t *testing.T) {
 	}
 }
 
+// TestAggregateSuccessOnlyLatency pins the aggregation rule the benchguard
+// load gate depends on: latency quantiles cover successful samples only,
+// so fast rejections can't deflate p99 and timed-out errors can't inflate
+// it across runs with different backpressure mixes.
+func TestAggregateSuccessOnlyLatency(t *testing.T) {
+	ss := []sample{
+		{op: opPredict, ms: 10},
+		{op: opPredict, ms: 20},
+		{op: opPredict, ms: 30},
+		{op: opPredict, ms: 0.1, rejected: true}, // fast 429
+		{op: opPredict, ms: 5000, err: true},     // timeout
+	}
+	r := aggregate(ss, time.Second)
+	if r.Count != 5 || r.Errors != 1 || r.Rejected != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 5/1/1", r.Count, r.Errors, r.Rejected)
+	}
+	l := r.Latency
+	if l.P50 != 20 {
+		t.Errorf("p50 = %v, want 20 (success-only median)", l.P50)
+	}
+	if l.Max != 30 {
+		t.Errorf("max = %v, want 30 — the 5000ms timeout leaked into the distribution", l.Max)
+	}
+	if l.Mean != 20 {
+		t.Errorf("mean = %v, want 20", l.Mean)
+	}
+	// All-failed classes report zero latency rather than rejection timing.
+	r = aggregate([]sample{{op: opFit, ms: 0.2, rejected: true}}, time.Second)
+	if r.Latency.Max != 0 || r.Latency.P50 != 0 {
+		t.Errorf("all-rejected latency = %+v, want zeros", r.Latency)
+	}
+}
+
 // TestQuantile pins the interpolation against hand-computed values.
 func TestQuantile(t *testing.T) {
 	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}

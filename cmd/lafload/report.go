@@ -29,9 +29,13 @@ type OpReport struct {
 	Latency  LatencyReport `json:"latency_ms"`
 }
 
-// LatencyReport holds exact quantiles over every retained sample, in
-// milliseconds. Open-loop runs include queueing delay from the scheduled
-// arrival; closed-loop runs measure the request alone.
+// LatencyReport holds exact quantiles over the successful samples only, in
+// milliseconds — errored and rejected (429/409) requests are counted but
+// excluded, so a fast rejection can't deflate p99 and a timeout can't
+// inflate it, and benchguard's load gate compares like with like across
+// runs with different backpressure mixes. Open-loop runs include queueing
+// delay from the scheduled arrival; closed-loop runs measure the request
+// alone.
 type LatencyReport struct {
 	P50  float64 `json:"p50"`
 	P90  float64 `json:"p90"`
@@ -70,9 +74,10 @@ func aggregate(ss []sample, elapsed time.Duration) OpReport {
 			r.Errors++
 		case s.rejected:
 			r.Rejected++
+		default:
+			lats = append(lats, s.ms)
+			sum += s.ms
 		}
-		lats = append(lats, s.ms)
-		sum += s.ms
 	}
 	if elapsed > 0 {
 		r.QPS = float64(len(ss)) / elapsed.Seconds()

@@ -246,26 +246,44 @@ func (r *runner) drive(ctx context.Context) (samples []sample, dropped int64, el
 	defer cancel()
 
 	var arrivals chan time.Time
-	var droppedMu sync.Mutex
 	if r.cfg.Rate > 0 {
 		arrivals = make(chan time.Time, 4*r.cfg.Concurrency)
 		go func() {
+			// dropped is written only here; closing arrivals (which every
+			// worker observes before returning) publishes it to drive's
+			// read after wg.Wait.
+			defer close(arrivals)
+			// Arrival n is scheduled at start + n*interval, computed
+			// arithmetically rather than from a ticker: tickers coalesce
+			// missed ticks, which would silently stretch the schedule
+			// whenever this goroutine falls behind (or -rate exceeds tick
+			// granularity) — understating the coordinated omission
+			// open-loop mode exists to measure. Behind schedule, the loop
+			// emits without sleeping until it catches up; every arrival
+			// that can't be enqueued counts as dropped.
 			interval := time.Duration(float64(time.Second) / r.cfg.Rate)
-			tick := time.NewTicker(interval)
-			defer tick.Stop()
-			for {
-				select {
-				case <-dctx.Done():
-					close(arrivals)
-					return
-				case t := <-tick.C:
+			if interval <= 0 {
+				interval = time.Nanosecond
+			}
+			schedStart := time.Now()
+			timer := time.NewTimer(time.Hour)
+			defer timer.Stop()
+			for n := int64(0); ; n++ {
+				at := schedStart.Add(time.Duration(n) * interval)
+				if wait := time.Until(at); wait > 0 {
+					timer.Reset(wait)
 					select {
-					case arrivals <- t:
-					default:
-						droppedMu.Lock()
-						dropped++
-						droppedMu.Unlock()
+					case <-dctx.Done():
+						return
+					case <-timer.C:
 					}
+				} else if dctx.Err() != nil {
+					return
+				}
+				select {
+				case arrivals <- at:
+				default:
+					dropped++
 				}
 			}
 		}()

@@ -67,17 +67,27 @@ func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.Han
 		m.inflight.Inc()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h(rec, r)
-		hist.Observe(time.Since(start).Seconds())
-		m.inflight.Dec()
-		code := strconv.Itoa(rec.code)
-		m.reg.Counter(metricRequests, helpRequests,
-			telemetry.Label{Name: "endpoint", Value: endpoint},
-			telemetry.Label{Name: "code", Value: code}).Inc()
-		if rec.code == http.StatusTooManyRequests || rec.code == http.StatusConflict {
-			m.reg.Counter(metricRejects, helpRejects,
+		// Recording runs deferred so a panicking handler (net/http recovers
+		// it per-connection) still balances the inflight gauge and is
+		// counted — as a 500, the status the client effectively saw. The
+		// panic is re-raised to preserve net/http's handling.
+		defer func() {
+			if p := recover(); p != nil {
+				rec.code = http.StatusInternalServerError
+				defer panic(p)
+			}
+			hist.Observe(time.Since(start).Seconds())
+			m.inflight.Dec()
+			code := strconv.Itoa(rec.code)
+			m.reg.Counter(metricRequests, helpRequests,
+				telemetry.Label{Name: "endpoint", Value: endpoint},
 				telemetry.Label{Name: "code", Value: code}).Inc()
-		}
+			if rec.code == http.StatusTooManyRequests || rec.code == http.StatusConflict {
+				m.reg.Counter(metricRejects, helpRejects,
+					telemetry.Label{Name: "code", Value: code}).Inc()
+			}
+		}()
+		h(rec, r)
 	}
 }
 

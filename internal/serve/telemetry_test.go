@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"lafdbscan"
+	"lafdbscan/internal/telemetry"
 )
 
 // sampleLine matches one Prometheus text-format sample:
@@ -181,6 +182,39 @@ func TestMetricsMiddleware(t *testing.T) {
 		if strings.Contains(series, `endpoint="GET /metrics"`) {
 			t.Errorf("scrape endpoint instrumented itself: %s", series)
 		}
+	}
+}
+
+// TestMetricsMiddlewarePanic pins the panic path: a handler that panics
+// (net/http recovers it per-connection) must still balance the inflight
+// gauge, fill the latency histogram, and be counted as a 500 — otherwise
+// laf_http_inflight_requests inflates permanently and requests go missing.
+func TestMetricsMiddlewarePanic(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newServerMetrics(reg)
+	h := m.instrument("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("middleware swallowed the handler's panic")
+			}
+		}()
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/boom", nil))
+	}()
+	if got := m.inflight.Value(); got != 0 {
+		t.Errorf("inflight after panic = %v, want 0", got)
+	}
+	if got := reg.Counter(metricRequests, helpRequests,
+		telemetry.Label{Name: "endpoint", Value: "GET /boom"},
+		telemetry.Label{Name: "code", Value: "500"}).Value(); got != 1 {
+		t.Errorf("requests_total{code=500} = %d, want 1", got)
+	}
+	hist := reg.Histogram(metricDuration, helpDuration, nil,
+		telemetry.Label{Name: "endpoint", Value: "GET /boom"})
+	if got := hist.Snapshot().Count; got != 1 {
+		t.Errorf("duration histogram count = %d, want 1", got)
 	}
 }
 

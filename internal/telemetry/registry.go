@@ -66,11 +66,14 @@ func NewRegistry() *Registry {
 // metric type panics — that is a programming error, not an operational
 // condition.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.getOrCreate(name, help, kindCounter, labels)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	var c *Counter
+	r.withSeries(name, help, kindCounter, labels, func(s *series) {
+		if s.counter == nil {
+			s.counter = &Counter{}
+		}
+		c = s.counter
+	})
+	return c
 }
 
 // CounterFunc registers a counter series whose value is read from fn at
@@ -78,41 +81,52 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 // atomic counters (the job engine, the estimator cache). Re-registering
 // the same (name, labels) replaces fn.
 func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
-	s := r.getOrCreate(name, help, kindCounter, labels)
-	s.counterFn = fn
+	r.withSeries(name, help, kindCounter, labels, func(s *series) {
+		s.counterFn = fn
+	})
 }
 
 // Gauge returns the gauge registered under name with the given labels,
 // creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.getOrCreate(name, help, kindGauge, labels)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	var g *Gauge
+	r.withSeries(name, help, kindGauge, labels, func(s *series) {
+		if s.gauge == nil {
+			s.gauge = &Gauge{}
+		}
+		g = s.gauge
+	})
+	return g
 }
 
 // GaugeFunc registers a gauge series read from fn at scrape time.
 // Re-registering the same (name, labels) replaces fn.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	s := r.getOrCreate(name, help, kindGauge, labels)
-	s.gaugeFn = fn
+	r.withSeries(name, help, kindGauge, labels, func(s *series) {
+		s.gaugeFn = fn
+	})
 }
 
 // Histogram returns the histogram registered under name with the given
 // labels, creating it over bounds (nil selects DefBuckets) on first use.
 // An existing histogram keeps its original bounds.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
-	s := r.getOrCreate(name, help, kindHistogram, labels)
-	if s.hist == nil {
-		s.hist = NewHistogram(bounds)
-	}
-	return s.hist
+	var h *Histogram
+	r.withSeries(name, help, kindHistogram, labels, func(s *series) {
+		if s.hist == nil {
+			s.hist = NewHistogram(bounds)
+		}
+		h = s.hist
+	})
+	return h
 }
 
-// getOrCreate resolves (name, labels) to its series under the registry
-// lock, creating family and series as needed.
-func (r *Registry) getOrCreate(name, help string, k kind, labels []Label) *series {
+// withSeries resolves (name, labels) to its series and runs init on it, all
+// under the registry lock — creating family and series as needed. Series
+// fields are only ever written inside init here, so a series is fully
+// initialized before any other goroutine (a concurrent get-or-create of the
+// same series, or a scrape) can observe it.
+func (r *Registry) withSeries(name, help string, k kind, labels []Label, init func(*series)) {
 	lb := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -130,7 +144,7 @@ func (r *Registry) getOrCreate(name, help string, k kind, labels []Label) *serie
 		f.series[lb] = s
 		f.order = append(f.order, lb)
 	}
-	return s
+	init(s)
 }
 
 // renderLabels renders a sorted `{a="b",c="d"}` block ("" when empty).
@@ -177,35 +191,38 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	// Snapshot the family structure under the lock; values are read
-	// lock-free afterwards (each series is internally atomic).
+	// Snapshot the family structure under the lock, copying each series by
+	// value so a concurrent re-registration (CounterFunc/GaugeFunc replace
+	// fn under the lock) cannot race the render below. The instrument
+	// pointers in the copies are read lock-free afterwards — each
+	// instrument is internally atomic.
 	type famSnap struct {
-		f      *family
-		series []*series
+		name, help string
+		kind       kind
+		series     []series
 	}
 	snaps := make([]famSnap, 0, len(names))
 	for _, name := range names {
 		f := r.families[name]
-		fs := famSnap{f: f}
+		fs := famSnap{name: f.name, help: f.help, kind: f.kind}
 		for _, lb := range f.order {
-			fs.series = append(fs.series, f.series[lb])
+			fs.series = append(fs.series, *f.series[lb])
 		}
 		snaps = append(snaps, fs)
 	}
 	r.mu.Unlock()
 
 	for _, fs := range snaps {
-		f := fs.f
-		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+		if fs.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fs.name, fs.help); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fs.name, fs.kind); err != nil {
 			return err
 		}
-		for _, s := range fs.series {
-			if err := writeSeries(w, f, s); err != nil {
+		for i := range fs.series {
+			if err := writeSeries(w, fs.name, fs.kind, &fs.series[i]); err != nil {
 				return err
 			}
 		}
@@ -213,9 +230,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// writeSeries renders one series' sample lines.
-func writeSeries(w io.Writer, f *family, s *series) error {
-	switch f.kind {
+// writeSeries renders one series' sample lines from a snapshot copy.
+func writeSeries(w io.Writer, name string, k kind, s *series) error {
+	switch k {
 	case kindCounter:
 		v := int64(0)
 		switch {
@@ -224,7 +241,7 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		case s.counter != nil:
 			v = s.counter.Value()
 		}
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, v)
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, s.labels, v)
 		return err
 	case kindGauge:
 		v := 0.0
@@ -234,7 +251,7 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		case s.gauge != nil:
 			v = s.gauge.Value()
 		}
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(v))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(v))
 		return err
 	case kindHistogram:
 		if s.hist == nil {
@@ -245,18 +262,18 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		for i, b := range snap.Bounds {
 			cum += snap.Counts[i]
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-				f.name, withLE(s.labels, formatFloat(b)), cum); err != nil {
+				name, withLE(s.labels, formatFloat(b)), cum); err != nil {
 				return err
 			}
 		}
 		cum += snap.Counts[len(snap.Counts)-1]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.labels, "+Inf"), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(snap.Sum)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(snap.Sum)); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, snap.Count)
 		return err
 	}
 	return nil

@@ -176,6 +176,53 @@ func TestConcurrentIncrements(t *testing.T) {
 	}
 }
 
+// TestConcurrentGetOrCreate resolves the same series from parallel
+// goroutines while a scraper renders — the per-request lookup pattern the
+// HTTP middleware uses for its (endpoint, code) counters. Under -race this
+// is the proof that instrument creation is fully inside the registry lock:
+// a second Counter allocated after unlock would lose increments here.
+func TestConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("laf_goc_total", "t", Label{"code", "200"}).Inc()
+				r.Gauge("laf_goc_gauge", "t").Add(1)
+				r.Histogram("laf_goc_seconds", "t", nil).Observe(0.01)
+				r.CounterFunc("laf_goc_fn_total", "t", func() int64 { return seed })
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("concurrent scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = workers * perWorker
+	if got := r.Counter("laf_goc_total", "t", Label{"code", "200"}).Value(); got != total {
+		t.Errorf("counter = %d, want %d (lost increments from duplicate instruments)", got, total)
+	}
+	if got := r.Gauge("laf_goc_gauge", "t").Value(); got != total {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	if got := r.Histogram("laf_goc_seconds", "t", nil).Snapshot().Count; got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+}
+
 // TestPrometheusOutput pins the exposition format: HELP/TYPE lines,
 // label rendering and escaping, cumulative histogram buckets, and the
 // sorted family order a scraper relies on being stable.
