@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"lafdbscan/internal/bench"
+	"lafdbscan/internal/trace"
 )
 
 var (
@@ -496,6 +497,55 @@ func BenchmarkRangeQuery(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSpanRecord measures the tracing kernel's per-request overhead —
+// the cost internal/serve adds to every HTTP request. Three regimes:
+// "disabled" (tracing off) and "unsampled" (1-in-N sampling, this request
+// missed) must stay allocation-free — the CI bench gate pins both at 0
+// allocs/op — because they are the price every request pays for tracing
+// merely existing; "sampled" is the full root + child + ring-record path a
+// traced request pays.
+func BenchmarkSpanRecord(b *testing.B) {
+	base := context.Background()
+	span3 := func(tr *trace.Tracer) {
+		ctx, root := tr.Root(base, "req")
+		ctx, child := trace.Start(ctx, "op")
+		child.Annotate(trace.Str("k", "v"))
+		child.Finish()
+		_, grand := trace.Start(ctx, "sub")
+		grand.Finish()
+		root.Finish()
+	}
+	b.Run("disabled", func(b *testing.B) {
+		tr := trace.New(1024, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			span3(tr)
+		}
+	})
+	b.Run("unsampled", func(b *testing.B) {
+		// Sampling 1-in-2^31: after the first root, every iteration takes
+		// the miss path — one atomic add, no allocation. Deterministic
+		// sampling always keeps root #1, so burn it before the timer or a
+		// short -benchtime run would report its allocations.
+		tr := trace.New(1024, 1<<31)
+		span3(tr)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			span3(tr)
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		tr := trace.New(1024, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			span3(tr)
+		}
+	})
 }
 
 // BenchmarkEstimatorPredict measures one RMI forward pass — the unit of

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // This file is benchguard's macro gate: where the default mode compares
@@ -26,6 +27,10 @@ type loadOps struct {
 			P50 float64 `json:"p50"`
 			P99 float64 `json:"p99"`
 		} `json:"latency_ms"`
+		WorstSamples []struct {
+			TraceID string  `json:"trace_id"`
+			Ms      float64 `json:"ms"`
+		} `json:"worst_samples"`
 	} `json:"ops"`
 }
 
@@ -39,6 +44,11 @@ type loadComparison struct {
 	CurrentQPS  float64 `json:"current_qps"`
 	Skipped     bool    `json:"skipped,omitempty"` // too few samples to trust
 	Regressed   bool    `json:"regressed"`
+	// WorstTraces carries the current run's worst-sample trace IDs when the
+	// class regressed: resolve them at the server's GET /v1/traces?trace=
+	// to see where the regressed requests spent their time (the nightly
+	// workflow archives that view next to the report).
+	WorstTraces []string `json:"worst_traces,omitempty"`
 }
 
 // minLoadSamples is the floor below which an op class's quantiles are too
@@ -71,6 +81,13 @@ func compareLoad(base, cur loadOps, threshold float64, minSamples int) []loadCom
 			cmp.Skipped = true
 		} else {
 			cmp.Regressed = cmp.ChangePct > threshold
+		}
+		if cmp.Regressed {
+			for _, ws := range c.WorstSamples {
+				if ws.TraceID != "" {
+					cmp.WorstTraces = append(cmp.WorstTraces, ws.TraceID)
+				}
+			}
 		}
 		out = append(out, cmp)
 	}
@@ -117,6 +134,10 @@ func runLoadGate(baselinePath, currentPath, jsonPath string, threshold float64) 
 			fmt.Printf("FAIL %s: p99 %.2f -> %.2f ms (%+.1f%%, threshold %+.0f%%), qps %.1f -> %.1f\n",
 				cmp.Op, cmp.BaselineP99, cmp.CurrentP99, cmp.ChangePct, threshold,
 				cmp.BaselineQPS, cmp.CurrentQPS)
+			if len(cmp.WorstTraces) > 0 {
+				fmt.Printf("     worst traces (GET /v1/traces?trace=<id>): %s\n",
+					strings.Join(cmp.WorstTraces, ", "))
+			}
 		default:
 			fmt.Printf("ok   %s: p99 %.2f -> %.2f ms (%+.1f%%), qps %.1f -> %.1f\n",
 				cmp.Op, cmp.BaselineP99, cmp.CurrentP99, cmp.ChangePct,

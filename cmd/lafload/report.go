@@ -27,7 +27,23 @@ type OpReport struct {
 	Rejected int           `json:"rejected"`
 	QPS      float64       `json:"qps"`
 	Latency  LatencyReport `json:"latency_ms"`
+	// WorstSamples are the slowest successful requests of the class,
+	// latency-descending — histogram exemplars for the quantiles above.
+	// Each trace ID resolves at GET /v1/traces?trace=<id> (while it lasts
+	// in the server's ring) to the request's span tree, so a regressed p99
+	// gate points directly at inspectable traces. An empty trace_id means
+	// the server didn't sample that request.
+	WorstSamples []WorstSample `json:"worst_samples,omitempty"`
 }
+
+// WorstSample links one slow request to its server-side trace.
+type WorstSample struct {
+	TraceID string  `json:"trace_id,omitempty"`
+	Ms      float64 `json:"ms"`
+}
+
+// maxWorstSamples bounds the exemplars kept per op class.
+const maxWorstSamples = 5
 
 // LatencyReport holds exact quantiles over the successful samples only, in
 // milliseconds — errored and rejected (429/409) requests are counted but
@@ -67,6 +83,7 @@ func buildReport(cfg config, samples []sample, dropped int64, elapsed time.Durat
 func aggregate(ss []sample, elapsed time.Duration) OpReport {
 	r := OpReport{Count: len(ss)}
 	lats := make([]float64, 0, len(ss))
+	var worst []sample
 	sum := 0.0
 	for _, s := range ss {
 		switch {
@@ -77,7 +94,15 @@ func aggregate(ss []sample, elapsed time.Duration) OpReport {
 		default:
 			lats = append(lats, s.ms)
 			sum += s.ms
+			worst = append(worst, s)
 		}
+	}
+	sort.Slice(worst, func(i, j int) bool { return worst[i].ms > worst[j].ms })
+	if len(worst) > maxWorstSamples {
+		worst = worst[:maxWorstSamples]
+	}
+	for _, s := range worst {
+		r.WorstSamples = append(r.WorstSamples, WorstSample{TraceID: s.trace, Ms: s.ms})
 	}
 	if elapsed > 0 {
 		r.QPS = float64(len(ss)) / elapsed.Seconds()
@@ -132,6 +157,10 @@ func (r *Report) Summary() string {
 	row("total", r.Total)
 	if r.Dropped > 0 {
 		fmt.Fprintf(&b, "dropped arrivals: %d (server could not keep up with -rate)\n", r.Dropped)
+	}
+	if ws := r.Total.WorstSamples; len(ws) > 0 && ws[0].TraceID != "" {
+		fmt.Fprintf(&b, "slowest request: %.2fms, trace %s (GET /v1/traces?trace=%s)\n",
+			ws[0].Ms, ws[0].TraceID, ws[0].TraceID)
 	}
 	return b.String()
 }

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -94,11 +95,15 @@ func parseMix(s string) ([]struct {
 // sample is one completed request: class, latency, and how it resolved.
 // rejected covers the backpressure statuses (429 full queue or fit slots,
 // 409 full model store) — deliberate server behavior, not failures.
+// trace is the server's X-Laf-Trace header when the request was sampled —
+// the link from a latency outlier in the report to its spans at
+// GET /v1/traces?trace=<id>.
 type sample struct {
 	op       string
 	ms       float64
 	err      bool
 	rejected bool
+	trace    string
 }
 
 // runner holds everything the workers share: pre-marshaled request bodies
@@ -176,7 +181,7 @@ func (r *runner) setup(ctx context.Context) (dims int, err error) {
 			ID string `json:"id"`
 		} `json:"model"`
 	}
-	code, err := r.do(ctx, http.MethodPost, "/v1/models", body, &fitResp)
+	code, _, err := r.do(ctx, http.MethodPost, "/v1/models", body, &fitResp)
 	if err != nil {
 		return 0, err
 	}
@@ -199,7 +204,7 @@ func (r *runner) registerDataset(ctx context.Context, name string, n int) (struc
 			"kind": r.cfg.Kind, "n": n, "seed": r.cfg.Seed,
 		},
 	})
-	code, err := r.do(ctx, http.MethodPost, "/v1/datasets", body, &info)
+	code, _, err := r.do(ctx, http.MethodPost, "/v1/datasets", body, &info)
 	if err != nil {
 		return info, err
 	}
@@ -245,13 +250,14 @@ func (r *runner) drive(ctx context.Context) (samples []sample, dropped int64, el
 	dctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
 
+	// droppedN is atomic: the scheduler goroutine below keeps writing it
+	// until it observes dctx done, which can be after wg.Wait returns —
+	// workers exiting through the deadline path never see arrivals close.
+	var droppedN atomic.Int64
 	var arrivals chan time.Time
 	if r.cfg.Rate > 0 {
 		arrivals = make(chan time.Time, 4*r.cfg.Concurrency)
 		go func() {
-			// dropped is written only here; closing arrivals (which every
-			// worker observes before returning) publishes it to drive's
-			// read after wg.Wait.
 			defer close(arrivals)
 			// Arrival n is scheduled at start + n*interval, computed
 			// arithmetically rather than from a ticker: tickers coalesce
@@ -283,7 +289,7 @@ func (r *runner) drive(ctx context.Context) (samples []sample, dropped int64, el
 				select {
 				case arrivals <- at:
 				default:
-					dropped++
+					droppedN.Add(1)
 				}
 			}
 		}()
@@ -325,7 +331,7 @@ func (r *runner) drive(ctx context.Context) (samples []sample, dropped int64, el
 	for _, rs := range results {
 		samples = append(samples, rs...)
 	}
-	return samples, dropped, elapsed
+	return samples, droppedN.Load(), elapsed
 }
 
 func (r *runner) pickOp(rng *rand.Rand) string {
@@ -344,24 +350,27 @@ func (r *runner) doOp(ctx context.Context, op string, rng *rand.Rand) sample {
 	switch op {
 	case opPredict:
 		body := r.predictBodies[rng.Intn(len(r.predictBodies))]
-		code, err := r.do(ctx, http.MethodPost, "/v1/models/"+r.modelID+"/predict", body, nil)
+		code, tr, err := r.do(ctx, http.MethodPost, "/v1/models/"+r.modelID+"/predict", body, nil)
 		s.classify(code, err, http.StatusOK)
+		s.trace = tr
 	case opInsert:
 		body := r.insertBodies[rng.Intn(len(r.insertBodies))]
-		code, err := r.do(ctx, http.MethodPost, "/v1/models/"+r.modelID+"/insert", body, nil)
+		code, tr, err := r.do(ctx, http.MethodPost, "/v1/models/"+r.modelID+"/insert", body, nil)
 		s.classify(code, err, http.StatusAccepted)
+		s.trace = tr
 	case opFit:
 		var resp struct {
 			Model struct {
 				ID string `json:"id"`
 			} `json:"model"`
 		}
-		code, err := r.do(ctx, http.MethodPost, "/v1/models", r.fitBody, &resp)
+		code, tr, err := r.do(ctx, http.MethodPost, "/v1/models", r.fitBody, &resp)
 		s.classify(code, err, http.StatusCreated)
+		s.trace = tr
 		if code == http.StatusCreated && resp.Model.ID != "" {
 			// The cycle's model served its purpose; free the store slot.
 			// Deletion is part of the op's measured cost.
-			if dcode, derr := r.do(ctx, http.MethodDelete, "/v1/models/"+resp.Model.ID, nil, nil); derr != nil || dcode != http.StatusOK {
+			if dcode, _, derr := r.do(ctx, http.MethodDelete, "/v1/models/"+resp.Model.ID, nil, nil); derr != nil || dcode != http.StatusOK {
 				s.err = true
 			}
 		}
@@ -385,31 +394,34 @@ func (s *sample) classify(code int, err error, want int) {
 }
 
 // do issues one request, decodes into out when non-nil and the status is
-// 2xx, and always drains the body so connections are reused.
-func (r *runner) do(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+// 2xx, and always drains the body so connections are reused. trace is the
+// response's X-Laf-Trace header — empty when the server didn't sample the
+// request (or predates tracing).
+func (r *runner) do(ctx context.Context, method, path string, body []byte, out any) (code int, trace string, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, r.cfg.URL+path, rd)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	trace = resp.Header.Get("X-Laf-Trace")
 	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
+			return resp.StatusCode, trace, err
 		}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, trace, nil
 }
 
 // quantile returns the linearly interpolated q-quantile of an ascending

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lafserve [-addr :8080] [-job-workers N] [-queue 64] [-models 256] [-preload name=path ...]
+//	         [-log-format text|json] [-slow-request 1s] [-trace-buffer 4096] [-trace-sample 1] [-pprof]
 //
 // The README's "Serving" and "Models & Prediction" sections walk through
 // the full API with curl; in short: POST /v1/datasets registers data once,
@@ -13,9 +14,10 @@
 // submits a clustering job whose status, progress and labels are polled
 // under /v1/jobs/{id} (DELETE cancels it mid-run), and /v1/models fits,
 // stores, persists and serves predictions from reusable clustering models.
-// GET /metrics exposes Prometheus-format telemetry (per-endpoint request
-// counts and latency histograms, queue depth, worker occupancy, cache and
-// model activity); docs/OPERATIONS.md is the operator handbook.
+// GET /metrics exposes Prometheus-format telemetry, GET /v1/traces the
+// recent request traces (every response carries its trace ID in
+// X-Laf-Trace), and -pprof adds Go's profiling endpoints under
+// /debug/pprof/; docs/OPERATIONS.md is the operator handbook.
 package main
 
 import (
@@ -23,7 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,9 +50,23 @@ func (p *preloads) Set(v string) error {
 	return nil
 }
 
+// newLogger builds the process logger: text for terminals, json for log
+// pipelines. Every line carries the component, and serve-layer lines add
+// the request's trace ID (see the slow-request log in docs/OPERATIONS.md).
+func newLogger(format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+	return slog.New(h).With("component", "lafserve"), nil
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lafserve: ")
 	var pre preloads
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -58,24 +74,44 @@ func main() {
 		queue     = flag.Int("queue", 64, "queued-job capacity before submissions get 429")
 		maxJobs   = flag.Int("max-jobs", 0, "retained jobs incl. finished (0 = default 4096)")
 		maxModels = flag.Int("models", 0, "stored-model capacity; fits/loads get 409 beyond it (0 = default 256)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		slowReq   = flag.Duration("slow-request", time.Second, "log requests at/over this duration with their trace ID (0 disables)")
+		traceBuf  = flag.Int("trace-buffer", 0, "span ring capacity, rounded to a power of two (0 = default 4096)")
+		traceSmpl = flag.Int("trace-sample", 1, "trace every Nth request (1 = all, -1 = disable tracing)")
+		pprofOn   = flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
 	)
 	flag.Var(&pre, "preload", "dataset to register at startup as name=path (repeatable)")
 	flag.Parse()
-	if *workers < 0 || *queue < 1 || *maxJobs < 0 || *maxModels < 0 {
+	if *workers < 0 || *queue < 1 || *maxJobs < 0 || *maxModels < 0 || *traceBuf < 0 || *slowReq < 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lafserve:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
 	}
 
 	srv := serve.NewServer(serve.Options{
 		Workers: *workers, QueueDepth: *queue, MaxJobs: *maxJobs, MaxModels: *maxModels,
+		TraceCapacity:        *traceBuf,
+		TraceSampleEvery:     *traceSmpl,
+		SlowRequestThreshold: *slowReq,
+		Logger:               logger,
+		EnablePprof:          *pprofOn,
 	})
 	defer srv.Close()
 	for _, d := range pre {
 		info, err := srv.Registry().RegisterFile(d.name, d.path)
 		if err != nil {
-			log.Fatalf("preloading %s: %v", d.path, err)
+			fatal("preloading dataset failed", "path", d.path, "error", err)
 		}
-		log.Printf("preloaded dataset %q (%d points, %d dims)", info.Name, info.Points, info.Dims)
+		logger.Info("preloaded dataset", "name", info.Name, "points", info.Points, "dims", info.Dims)
 	}
 
 	hs := &http.Server{
@@ -89,13 +125,16 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		logger.Info("shutting down", "grace", "10s")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("listening on %s (job workers: %d, queue: %d, metrics at /metrics)", *addr, *workers, *queue)
+	logger.Info("listening",
+		"addr", *addr, "job_workers", *workers, "queue", *queue,
+		"trace_sample", *traceSmpl, "slow_request", slowReq.String(), "pprof", *pprofOn)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("server exited", "error", err)
 	}
 }

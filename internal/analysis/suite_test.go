@@ -71,8 +71,9 @@ func TestClusterDirectivesAreLoadBearing(t *testing.T) {
 
 // hotpathRoster is the set of functions this repository REQUIRES to stay
 // registered as hot paths: the wave callback chain, the vecmath kernels
-// the clustering loops call per point pair, and the telemetry write path
-// every instrumented request touches. Deleting one of these
+// the clustering loops call per point pair, the telemetry write path
+// every instrumented request touches, and the span-record path every
+// sampled request finishes through. Deleting one of these
 // //lafvet:hotpath directives fails this test, so the annotations cannot
 // silently rot.
 var hotpathRoster = map[string][]string{
@@ -81,6 +82,7 @@ var hotpathRoster = map[string][]string{
 	"../cluster/atomicunionfind.go": {"Find", "Union", "Same"},
 	"../cluster/wavemerge.go":       {"Absorb"},
 	"../telemetry/metrics.go":       {"Inc", "Add", "Set", "Dec", "Observe"},
+	"../trace/trace.go":             {"Finish", "record"},
 }
 
 func TestHotpathRoster(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lafdbscan"
+	"lafdbscan/internal/trace"
 )
 
 // EstimatorCache trains each (dataset, EstimatorConfig) RMI estimator
@@ -69,7 +70,29 @@ func EstimatorKey(datasetName string, cfg lafdbscan.EstimatorConfig) string {
 // worker slot immediately even while the model is still fitting; the
 // training itself is never abandoned and lands in the cache for the next
 // request.
+//
+// A traced request gets an "estimator.get" child span annotated hit or
+// miss — in a slow trace it separates "waited for training" from "the
+// clustering itself was slow" at a glance.
 func (c *EstimatorCache) Get(ctx context.Context, datasetName string, train [][]float32, cfg lafdbscan.EstimatorConfig) (est lafdbscan.Estimator, cached bool, trainTime time.Duration, err error) {
+	ctx, span := trace.Start(ctx, "estimator.get")
+	est, cached, trainTime, err = c.get(ctx, datasetName, train, cfg)
+	if span != nil {
+		outcome := "miss"
+		if cached {
+			outcome = "hit"
+		}
+		span.Annotate(trace.Str("dataset", datasetName), trace.Str("cache", outcome))
+		if err != nil {
+			span.Annotate(trace.Str("error", err.Error()))
+		}
+		span.Finish()
+	}
+	return est, cached, trainTime, err
+}
+
+// get is Get without the span — the single-flight cache logic.
+func (c *EstimatorCache) get(ctx context.Context, datasetName string, train [][]float32, cfg lafdbscan.EstimatorConfig) (est lafdbscan.Estimator, cached bool, trainTime time.Duration, err error) {
 	key := EstimatorKey(datasetName, cfg)
 
 	c.mu.Lock()

@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lafdbscan"
 	"lafdbscan/internal/index"
+	"lafdbscan/internal/trace"
 )
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity. It
@@ -77,6 +80,17 @@ type Job struct {
 	// inheriting the whole lifecycle — queueing, 429 backpressure,
 	// cancel-within-one-wave, result retention.
 	exec func(ctx context.Context) (*lafdbscan.Result, error)
+
+	// link ties the job back to the submitting request's trace: spans the
+	// job emits later (queued, run, per-wave events) parent under the HTTP
+	// root span even though the request context is long gone by then. The
+	// zero link (unsampled or untraced submission) makes every span op a
+	// no-op.
+	link trace.Link
+	// queueSpan measures submit → worker pickup. Created at enqueue and
+	// finished by the worker that pops the job; the engine mutex hand-off
+	// between those two points orders the accesses.
+	queueSpan *trace.Span
 
 	// queriesDone counts completed range queries, fed by the wave engines'
 	// progress hook; it is the poll-able progress signal.
@@ -165,6 +179,25 @@ type Options struct {
 	// lafdbscan.ClusterContext). Tests use controllable fakes to pin the
 	// job lifecycle without clustering work.
 	Run runFunc
+
+	// TraceCapacity sizes the server's span ring buffer (rounded up to a
+	// power of two); <= 0 selects trace.DefaultCapacity.
+	TraceCapacity int
+	// TraceSampleEvery keeps every Nth request's trace: 0 selects the
+	// default of 1 (trace everything), N > 1 samples 1-in-N, and any
+	// negative value disables tracing entirely.
+	TraceSampleEvery int
+	// SlowRequestThreshold makes the middleware log a structured warning
+	// (with the trace ID, when sampled) for any request at or over the
+	// threshold; 0 disables the slow-request log.
+	SlowRequestThreshold time.Duration
+	// Logger receives the server's structured log lines (slow requests);
+	// nil selects slog.Default().
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — off by
+	// default because profile endpoints on a serving port are an
+	// operational decision (see docs/OPERATIONS.md).
+	EnablePprof bool
 }
 
 // runFunc executes one clustering call. The engine's default is
@@ -295,11 +328,15 @@ func (e *Engine) markCanceled(job *Job) {
 // Submit validates and enqueues a clustering job, returning its id
 // immediately. A full queue returns ErrQueueFull (retryable); validation
 // failures return descriptive errors the HTTP layer maps to 400s.
-func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
+//
+// ctx is the submitting request's context, used only to capture its trace
+// link — the job itself runs detached, under the engine's context, exactly
+// as before. A context without an active span submits an untraced job.
+func (e *Engine) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	if err := e.validate(&spec); err != nil {
 		return JobStatus{}, err
 	}
-	return e.enqueue(&Job{spec: spec})
+	return e.enqueue(ctx, &Job{spec: spec})
 }
 
 // SubmitFunc enqueues a custom job — the model insert/delete endpoints'
@@ -307,9 +344,10 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 // as clustering jobs. dataset and method label the job for listings; kind
 // tags it (e.g. "model-insert"). exec runs on a worker slot with a context
 // that cancels on DELETE /v1/jobs/{id} and carries the wave-progress hook,
-// so queries_done progress works for maintenance exactly as for fits.
-func (e *Engine) SubmitFunc(dataset string, method lafdbscan.Method, kind string, exec func(ctx context.Context) (*lafdbscan.Result, error)) (JobStatus, error) {
-	return e.enqueue(&Job{
+// so queries_done progress works for maintenance exactly as for fits. ctx
+// carries the submitting request's trace link, as in Submit.
+func (e *Engine) SubmitFunc(ctx context.Context, dataset string, method lafdbscan.Method, kind string, exec func(ctx context.Context) (*lafdbscan.Result, error)) (JobStatus, error) {
+	return e.enqueue(ctx, &Job{
 		spec: JobSpec{Dataset: dataset, Method: method},
 		kind: kind,
 		exec: exec,
@@ -317,7 +355,8 @@ func (e *Engine) SubmitFunc(dataset string, method lafdbscan.Method, kind string
 }
 
 // enqueue stamps and queues a prepared job under the engine lock.
-func (e *Engine) enqueue(job *Job) (JobStatus, error) {
+func (e *Engine) enqueue(ctx context.Context, job *Job) (JobStatus, error) {
+	job.link = trace.LinkFromContext(ctx)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -331,6 +370,17 @@ func (e *Engine) enqueue(job *Job) (JobStatus, error) {
 	job.id = fmt.Sprintf("j-%06d", e.seq)
 	job.state = JobQueued
 	job.created = time.Now()
+	// The queued span starts here and is finished by the worker that pops
+	// the job; created under the engine lock (after the id exists) so the
+	// pop's lock acquisition orders the hand-off. A job canceled while
+	// still queued never finishes the span — it never reaches the ring,
+	// matching "the queue phase never completed".
+	if qs := job.link.NewSpan("job.queued"); qs != nil {
+		qs.Annotate(trace.Str("job", job.id),
+			trace.Str("dataset", job.spec.Dataset),
+			trace.Str("method", string(job.spec.Method)))
+		job.queueSpan = qs
+	}
 	e.pending = append(e.pending, job)
 	e.jobs[job.id] = job
 	e.order = append(e.order, job.id)
@@ -574,8 +624,43 @@ func (e *Engine) runJob(job *Job) {
 	job.mu.Unlock()
 	defer cancel()
 
+	// Trace hand-off: the queued span ends where the run span begins. Both
+	// parent under the submitting request's root span through job.link, so
+	// /v1/traces shows submit → queue → run → per-wave events as one tree.
+	// This worker goroutine owns both spans from here on (the queued-state
+	// check above proves no Cancel can be touching the job concurrently).
+	if qs := job.queueSpan; qs != nil {
+		qs.Finish()
+		job.queueSpan = nil
+	}
+	runSpan := job.link.NewSpan("job.run")
+	if runSpan != nil {
+		runSpan.Annotate(trace.Str("job", job.id),
+			trace.Str("dataset", job.spec.Dataset),
+			trace.Str("method", string(job.spec.Method)))
+		if job.kind != "" {
+			runSpan.Annotate(trace.Str("kind", job.kind))
+		}
+		ctx = trace.ContextWithSpan(ctx, runSpan)
+	}
+
 	e.busy.Add(1)
-	res, err := e.execute(ctx, job)
+	var res *lafdbscan.Result
+	var err error
+	if runSpan != nil {
+		// CPU profile samples taken during this job carry its kind and
+		// trace ID, so a hot profile attributes flat time to the job (and
+		// via the trace ID, to the exact request) that caused it. Labels
+		// ride the sampling decision: unsampled jobs skip the label set.
+		kind := job.kind
+		if kind == "" {
+			kind = "cluster"
+		}
+		pprof.Do(ctx, pprof.Labels("laf_job", kind, "laf_trace", runSpan.TraceID.String()),
+			func(ctx context.Context) { res, err = e.execute(ctx, job) })
+	} else {
+		res, err = e.execute(ctx, job)
+	}
 	e.busy.Add(-1)
 
 	job.mu.Lock()
@@ -595,7 +680,13 @@ func (e *Engine) runJob(job *Job) {
 		job.err = err
 		e.failed.Add(1)
 	}
+	state := job.state
 	job.mu.Unlock()
+	if runSpan != nil {
+		runSpan.Annotate(trace.Str("state", string(state)),
+			trace.Int("queries_done", job.queriesDone.Load()))
+		runSpan.Finish()
+	}
 }
 
 // execute resolves the job's shared resources — dataset vectors, the
@@ -603,12 +694,20 @@ func (e *Engine) runJob(job *Job) {
 // hook, and runs the clustering call. Custom jobs (SubmitFunc) skip
 // resolution and run their closure under the hooked context directly.
 func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, error) {
+	// One progress closure feeds three consumers at every wave barrier: the
+	// job's poll-able counter, the engine-wide throughput counter, and (for
+	// sampled jobs) a per-wave event on the run span — the trace's latency
+	// breakdown. The wave engines call it from the goroutine driving the
+	// waves, never concurrently within a batch call, which satisfies the
+	// span ownership contract; a nil span makes the event a no-op.
+	span := trace.FromContext(ctx)
+	progress := func(q int) {
+		job.queriesDone.Add(int64(q))
+		e.queries.Add(int64(q))
+		span.Event("wave", trace.Int("queries", int64(q)))
+	}
 	if job.exec != nil {
-		ctx = index.WithWaveProgress(ctx, func(q int) {
-			job.queriesDone.Add(int64(q))
-			e.queries.Add(int64(q))
-		})
-		return job.exec(ctx)
+		return job.exec(index.WithWaveProgress(ctx, progress))
 	}
 	spec := job.spec
 	ds, err := e.reg.Get(spec.Dataset)
@@ -629,11 +728,7 @@ func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, erro
 		job.mu.Unlock()
 		p.Estimator = est
 	}
-	ctx = index.WithWaveProgress(ctx, func(q int) {
-		job.queriesDone.Add(int64(q))
-		e.queries.Add(int64(q))
-	})
-	return e.run(ctx, ds.Vectors, spec.Method, p)
+	return e.run(index.WithWaveProgress(ctx, progress), ds.Vectors, spec.Method, p)
 }
 
 // resolveEstimator resolves a spec's estimator through the shared cache:

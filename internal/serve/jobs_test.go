@@ -44,7 +44,7 @@ func waitState(t *testing.T, e *Engine, id string, want JobState) JobStatus {
 
 func submit(t *testing.T, e *Engine, spec JobSpec) string {
 	t.Helper()
-	st, err := e.Submit(spec)
+	st, err := e.Submit(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	running := submit(t, e, dbscanSpec("d")) // occupies the worker
 	<-started
 	queued := submit(t, e, dbscanSpec("d")) // fills the queue
-	if _, err := e.Submit(dbscanSpec("d")); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.Submit(context.Background(), dbscanSpec("d")); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit err = %v, want ErrQueueFull", err)
 	}
 	close(release)
@@ -230,7 +230,7 @@ func TestSubmitValidation(t *testing.T) {
 			Estimator: &EstimatorSpec{TrainDataset: "missing"}}},
 	}
 	for _, c := range cases {
-		if _, err := e.Submit(c.spec); err == nil {
+		if _, err := e.Submit(context.Background(), c.spec); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
@@ -412,7 +412,7 @@ func TestCancelQueuedFreesQueueSlot(t *testing.T) {
 	submit(t, e, dbscanSpec("d")) // occupies the worker
 	<-started
 	queued := submit(t, e, dbscanSpec("d")) // fills the queue
-	if _, err := e.Submit(dbscanSpec("d")); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.Submit(context.Background(), dbscanSpec("d")); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("submit into full queue err = %v, want ErrQueueFull", err)
 	}
 	if _, err := e.Cancel(queued); err != nil {
@@ -421,7 +421,7 @@ func TestCancelQueuedFreesQueueSlot(t *testing.T) {
 	if s := e.Stats(); s.Queued != 0 {
 		t.Errorf("queued count after cancel = %d, want 0", s.Queued)
 	}
-	if _, err := e.Submit(dbscanSpec("d")); err != nil {
+	if _, err := e.Submit(context.Background(), dbscanSpec("d")); err != nil {
 		t.Errorf("submit after canceling the queued job err = %v, want accepted", err)
 	}
 }
@@ -444,7 +444,7 @@ func TestSubmitRejectsNonCosineMetricForCosineOnlyMethods(t *testing.T) {
 		if m == lafdbscan.MethodLAFDBSCANPP {
 			spec.Estimator = &EstimatorSpec{}
 		}
-		if _, err := e.Submit(spec); err == nil {
+		if _, err := e.Submit(context.Background(), spec); err == nil {
 			t.Errorf("%s accepted a euclidean metric", m)
 		}
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	"lafdbscan"
+	"lafdbscan/internal/index"
+	"lafdbscan/internal/trace"
 )
 
 // This file is the HTTP face of the model store: fit, inspect, delete,
@@ -18,6 +21,21 @@ import (
 // under the request context, so a dropped connection cancels the clustering
 // within one wave; prediction is cheap by construction (one range query per
 // vector) and is what the fitted artifacts exist to serve.
+
+// withWaveEvents makes the wave engines stamp one event per completed
+// wave barrier on span — the per-wave latency breakdown of a synchronous
+// fit or predict. The hook is installed only for traced requests: an
+// untraced request's context is returned unchanged, so the wave path pays
+// nothing. (Async jobs get the same events through the engine's progress
+// hook instead, which also feeds the queries_done counters.)
+func withWaveEvents(ctx context.Context, span *trace.Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return index.WithWaveProgress(ctx, func(q int) {
+		span.Event("wave", trace.Int("queries", int64(q)))
+	})
+}
 
 func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 	var req struct {
@@ -72,7 +90,15 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 			errors.New("serve: all fit slots busy, retry later"))
 		return
 	}
-	est, cached, err := resolveEstimator(r.Context(), s.reg, s.est, spec)
+	// The fit span covers estimator resolution and the clustering itself;
+	// wave barriers stamp events on it, so a slow fit's trace shows where
+	// the waves slowed down. Deferred Finish keeps every error return
+	// covered (status lands on the middleware's root span).
+	ctx, span := trace.Start(r.Context(), "model.fit")
+	span.Annotate(trace.Str("dataset", spec.Dataset), trace.Str("method", string(spec.Method)))
+	defer span.Finish()
+	ctx = withWaveEvents(ctx, span)
+	est, cached, err := resolveEstimator(ctx, s.reg, s.est, spec)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -88,7 +114,7 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 		p.Index = idx
 	}
 	start := time.Now()
-	model, err := lafdbscan.FitParams(r.Context(), ds.Vectors, spec.Method, p)
+	model, err := lafdbscan.FitParams(ctx, ds.Vectors, spec.Method, p)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -196,8 +222,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: predict vectors have %d dims, model %s was fitted on %d", dim, id, model.Dim()))
 		return
 	}
+	// The predict span is the acceptance path of the tracing layer: a
+	// worst-latency lafload sample's trace ID resolves to this span's root,
+	// with wave events showing which barrier the time went to.
+	ctx, span := trace.Start(r.Context(), "model.predict")
+	span.Annotate(trace.Str("model", id), trace.Int("vectors", int64(len(vectors))))
+	defer span.Finish()
+	ctx = withWaveEvents(ctx, span)
 	start := time.Now()
-	labels, skipped, err := model.PredictWithOptions(r.Context(), vectors, lafdbscan.PredictOptions{
+	labels, skipped, err := model.PredictWithOptions(ctx, vectors, lafdbscan.PredictOptions{
 		Gate:          req.Gate,
 		GateThreshold: req.GateThreshold,
 	})

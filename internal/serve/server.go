@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	netpprof "net/http/pprof"
 	"time"
 
 	"lafdbscan"
 	"lafdbscan/internal/telemetry"
+	"lafdbscan/internal/trace"
 )
 
 // Server is the HTTP JSON facade over the registry, the estimator cache
@@ -33,8 +36,10 @@ import (
 //	POST   /v1/models/{id}/insert   async: fold new vectors into the clustering (202, job id)
 //	POST   /v1/models/{id}/delete   async: drop point ids from the clustering (202, job id)
 //	GET    /v1/stats             registry / cache / engine / model counters
+//	GET    /v1/traces            recent request traces (?trace=, ?min_ms=, ?limit=)
 //	GET    /v1/healthz           liveness
 //	GET    /metrics              Prometheus text-format scrape endpoint
+//	GET    /debug/pprof/...      Go profiling endpoints (only with Options.EnablePprof)
 //
 // Every route is instrumented through internal/telemetry: request counts
 // and latency histograms per route pattern, in-flight and rejection
@@ -46,6 +51,7 @@ type Server struct {
 	eng     *Engine
 	models  *ModelStore
 	metrics *serverMetrics
+	tracer  *trace.Tracer
 	// fitSlots caps concurrent synchronous model fits at the job engine's
 	// worker count, so a burst of POST /v1/models cannot oversubscribe the
 	// machine past the concurrency budget the bounded engine enforces for
@@ -63,12 +69,27 @@ func NewServer(opts Options) *Server {
 	est := NewEstimatorCache()
 	eng := NewEngine(reg, est, opts)
 	mreg := telemetry.NewRegistry()
+	// Sampling default is trace-everything: the ring is a bounded flight
+	// recorder, so "on" costs one span tree per request and nothing when
+	// the ring wraps. Negative disables (trace.New treats 0 as off).
+	sampleEvery := opts.TraceSampleEvery
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	} else if sampleEvery < 0 {
+		sampleEvery = 0
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	tracer := trace.New(opts.TraceCapacity, sampleEvery)
 	s := &Server{
 		reg:      reg,
 		est:      est,
 		eng:      eng,
 		models:   NewModelStore(opts.MaxModels),
-		metrics:  newServerMetrics(mreg),
+		metrics:  newServerMetrics(mreg, tracer, logger, opts.SlowRequestThreshold),
+		tracer:   tracer,
 		fitSlots: make(chan struct{}, eng.workers),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
@@ -77,11 +98,17 @@ func NewServer(opts Options) *Server {
 	est.registerMetrics(mreg)
 	eng.registerMetrics(mreg)
 	s.models.registerMetrics(mreg)
+	registerRuntimeMetrics(mreg)
+	registerTraceMetrics(mreg, tracer)
 	mreg.GaugeFunc("laf_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
-	s.routes()
+	s.routes(opts.EnablePprof)
 	return s
 }
+
+// Tracer exposes the server's span ring (tests assert against it; cmd
+// tooling reads it over /v1/traces instead).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Metrics exposes the server's telemetry registry (cmd/lafserve logs a
 // startup summary through it; tests scrape it directly).
@@ -104,7 +131,7 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
 }
 
-func (s *Server) routes() {
+func (s *Server) routes(enablePprof bool) {
 	s.handle("POST /v1/datasets", s.handleRegisterDataset)
 	s.handle("GET /v1/datasets", s.handleListDatasets)
 	s.handle("GET /v1/datasets/{name}", s.handleGetDataset)
@@ -130,8 +157,22 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	// The scrape endpoint itself is not instrumented: scrapes measuring
-	// themselves would be noise in every latency panel.
+	// themselves would be noise in every latency panel. Same for the trace
+	// endpoint — reading the flight recorder must not write to it, or a
+	// tight poll would evict the very spans it came to fetch.
 	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	if enablePprof {
+		// Mounted explicitly rather than importing net/http/pprof for its
+		// DefaultServeMux side effect: the server owns its mux, and the
+		// flag gate would be meaningless if a blank import registered the
+		// handlers anyway.
+		s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	// Catch-all: requests matching no route still get counted (under the
 	// fixed "other" endpoint label, never the raw path) before their JSON
 	// 404. Go 1.22's mux has no post-match pattern hook, so an explicit
@@ -354,7 +395,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		}
 		spec.Estimator = &es
 	}
-	status, err := s.eng.Submit(spec)
+	status, err := s.eng.Submit(r.Context(), spec)
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			w.Header().Set("Retry-After", "1")

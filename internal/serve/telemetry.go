@@ -1,11 +1,17 @@
 package serve
 
 import (
+	"context"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"lafdbscan/internal/telemetry"
+	"lafdbscan/internal/trace"
 )
 
 // This file is the server's observability wiring: every exported series,
@@ -18,10 +24,17 @@ import (
 // are resolved once at route registration; per-(endpoint, code) counters
 // are resolved on first occurrence of the code (a mutex-guarded lookup,
 // off the request path's critical section only by a handful of ns — the
-// request itself just did real work).
+// request itself just did real work). It also owns the request-scoped
+// observability the middleware adds around every handler: the root span
+// per sampled request, the X-Laf-Trace response header, pprof endpoint
+// labels, and the slow-request log.
 type serverMetrics struct {
 	reg      *telemetry.Registry
 	inflight *telemetry.Gauge
+	tracer   *trace.Tracer
+	logger   *slog.Logger
+	// slow is the slow-request log threshold; 0 disables the log.
+	slow time.Duration
 }
 
 // Series names and help strings of the HTTP layer.
@@ -37,12 +50,22 @@ const (
 	endpointUnknown = "other"
 )
 
-func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+func newServerMetrics(reg *telemetry.Registry, tracer *trace.Tracer, logger *slog.Logger, slow time.Duration) *serverMetrics {
+	if logger == nil {
+		logger = slog.Default()
+	}
 	return &serverMetrics{
 		reg:      reg,
 		inflight: reg.Gauge(metricInflight, helpInflight),
+		tracer:   tracer,
+		logger:   logger,
+		slow:     slow,
 	}
 }
+
+// TraceHeader is the response header carrying the request's trace ID when
+// the request was sampled; resolve it at GET /v1/traces?trace=<id>.
+const TraceHeader = "X-Laf-Trace"
 
 // statusRecorder captures the status code a handler commits, defaulting to
 // 200 for handlers that write the body directly.
@@ -57,9 +80,12 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps one route's handler with the endpoint's request
-// counter, latency histogram and in-flight gauge. endpoint is the route
-// pattern (bounded cardinality by construction — raw request paths never
-// become label values).
+// counter, latency histogram and in-flight gauge, and — for sampled
+// requests — a root span named by the route, echoed to the client in the
+// X-Laf-Trace header and carried on the request context so every layer
+// below (jobs, estimator cache, wave barriers) parents under it. endpoint
+// is the route pattern (bounded cardinality by construction — raw request
+// paths never become label values).
 func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	hist := m.reg.Histogram(metricDuration, helpDuration, nil,
 		telemetry.Label{Name: "endpoint", Value: endpoint})
@@ -67,16 +93,41 @@ func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.Han
 		m.inflight.Inc()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		ctx, span := m.tracer.Root(r.Context(), endpoint)
+		if span != nil {
+			// The header must be set before the handler writes anything —
+			// headers are frozen at the first body byte.
+			w.Header().Set(TraceHeader, span.TraceID.String())
+			span.Annotate(trace.Str("method", r.Method), trace.Str("path", r.URL.Path))
+			r = r.WithContext(ctx)
+		}
 		// Recording runs deferred so a panicking handler (net/http recovers
-		// it per-connection) still balances the inflight gauge and is
-		// counted — as a 500, the status the client effectively saw. The
-		// panic is re-raised to preserve net/http's handling.
+		// it per-connection) still balances the inflight gauge, is counted —
+		// as a 500, the status the client effectively saw — and still closes
+		// the root span: a trace of a crashed request is exactly the trace
+		// worth keeping. The panic is re-raised to preserve net/http's
+		// handling.
 		defer func() {
 			if p := recover(); p != nil {
 				rec.code = http.StatusInternalServerError
 				defer panic(p)
 			}
-			hist.Observe(time.Since(start).Seconds())
+			dur := time.Since(start)
+			span.Annotate(trace.Int("status", int64(rec.code)))
+			span.Finish()
+			if m.slow > 0 && dur >= m.slow {
+				// span is nil for unsampled slow requests; the line still
+				// fires (the threshold, not the sampler, decides what is
+				// slow) with an empty trace field.
+				m.logger.Warn("slow request",
+					"endpoint", endpoint,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", rec.code,
+					"duration_ms", float64(dur)/float64(time.Millisecond),
+					"trace", span.Trace().String())
+			}
+			hist.Observe(dur.Seconds())
 			m.inflight.Dec()
 			code := strconv.Itoa(rec.code)
 			m.reg.Counter(metricRequests, helpRequests,
@@ -87,6 +138,14 @@ func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.Han
 					telemetry.Label{Name: "code", Value: code}).Inc()
 			}
 		}()
+		if span != nil {
+			// CPU profile samples taken while the handler runs carry the
+			// endpoint and trace ID (`go tool pprof -tags`). Labels ride
+			// the sampling decision, so the unsampled path stays free.
+			pprof.Do(r.Context(), pprof.Labels("laf_endpoint", endpoint, "laf_trace", span.TraceID.String()),
+				func(ctx context.Context) { h(rec, r.WithContext(ctx)) })
+			return
+		}
 		h(rec, r)
 	}
 }
@@ -160,4 +219,44 @@ func (s *ModelStore) registerMetrics(reg *telemetry.Registry) {
 func (r *Registry) registerMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("laf_datasets_registered", "Datasets resident in the registry.",
 		func() float64 { return float64(r.Len()) })
+}
+
+// registerRuntimeMetrics bridges the Go runtime into the scrape: the four
+// numbers that turn a mystery regression into a diagnosis (goroutine leak?
+// heap growth? GC pressure? wrong CPU budget?). ReadMemStats costs a
+// stop-the-world, so its result is cached for a second — far finer than
+// any scrape interval, invisible to the serving path.
+func registerRuntimeMetrics(reg *telemetry.Registry) {
+	var mu sync.Mutex
+	var last time.Time
+	var ms runtime.MemStats
+	memstats := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if last.IsZero() || time.Since(last) >= time.Second {
+			runtime.ReadMemStats(&ms)
+			last = time.Now()
+		}
+		return ms
+	}
+	reg.GaugeFunc("laf_go_goroutines", "Goroutines currently live.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("laf_go_gomaxprocs", "GOMAXPROCS — the scheduler's CPU budget.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("laf_go_heap_inuse_bytes", "Bytes in in-use heap spans (runtime.MemStats.HeapInuse, cached ~1s).",
+		func() float64 { return float64(memstats().HeapInuse) })
+	reg.CounterFunc("laf_go_gc_pause_ns_total", "Cumulative GC stop-the-world pause time in nanoseconds (cached ~1s).",
+		func() int64 { return int64(memstats().PauseTotalNs) })
+}
+
+// registerTraceMetrics exports the span ring's own health: recording rate
+// (is tracing on and seeing traffic?) and configuration, so a dashboard
+// can tell "no slow spans" from "tracing disabled".
+func registerTraceMetrics(reg *telemetry.Registry, tracer *trace.Tracer) {
+	reg.CounterFunc("laf_trace_spans_recorded_total", "Spans recorded into the trace ring (wraps overwrite, not decrement).",
+		tracer.Recorded)
+	reg.GaugeFunc("laf_trace_ring_capacity", "Span ring capacity; older spans are overwritten beyond it.",
+		func() float64 { return float64(tracer.Capacity()) })
+	reg.GaugeFunc("laf_trace_sample_every", "Root-span sampling rate (1 = every request, N = 1-in-N, 0 = tracing disabled).",
+		func() float64 { return float64(tracer.SampleEvery()) })
 }

@@ -12,6 +12,7 @@ import (
 
 	"lafdbscan"
 	"lafdbscan/internal/telemetry"
+	"lafdbscan/internal/trace"
 )
 
 // sampleLine matches one Prometheus text-format sample:
@@ -191,7 +192,7 @@ func TestMetricsMiddleware(t *testing.T) {
 // laf_http_inflight_requests inflates permanently and requests go missing.
 func TestMetricsMiddlewarePanic(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	m := newServerMetrics(reg)
+	m := newServerMetrics(reg, trace.New(16, 1), nil, 0)
 	h := m.instrument("GET /boom", func(http.ResponseWriter, *http.Request) {
 		panic("handler bug")
 	})

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lafdbscan/internal/trace"
+)
+
+// This file is the HTTP face of the span ring: GET /v1/traces renders the
+// flight recorder's current contents as JSON. The endpoint is a read-only
+// diagnostic view — it is deliberately not instrumented (reading the ring
+// must not write to it) and carries no pagination state: the ring is
+// bounded, a response is at most one ring's worth of spans, and filters
+// narrow it further.
+//
+//	GET /v1/traces                     everything currently in the ring
+//	GET /v1/traces?trace=<hex-id>      one trace's spans (the X-Laf-Trace value)
+//	GET /v1/traces?min_ms=250          only spans at least that long — the slow-op view
+//	GET /v1/traces?limit=50            at most the 50 most recent matching spans
+//
+// Spans arrive ordered by start time; a whole trace reads top-to-bottom as
+// request → job.queued → job.run → (wave events inside). parent_id stitches
+// the tree: the root has none, every other span names its parent.
+
+// spanJSON is the wire form of one span.
+type spanJSON struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// ParentID is empty on root spans.
+	ParentID string  `json:"parent_id,omitempty"`
+	Name     string  `json:"name"`
+	Start    string  `json:"start"`
+	Duration float64 `json:"duration_ms"`
+	// Attrs is flat key=value; keys are unique per span by construction of
+	// the instrumentation sites.
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Events []eventJSON       `json:"events,omitempty"`
+}
+
+// eventJSON is the wire form of one in-span event; OffsetMs is relative to
+// the span's start, so consecutive wave events read as a latency breakdown.
+type eventJSON struct {
+	Name     string            `json:"name"`
+	OffsetMs float64           `json:"offset_ms"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []trace.Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func spanToJSON(s *trace.Span) spanJSON {
+	out := spanJSON{
+		TraceID:  s.TraceID.String(),
+		SpanID:   s.SpanID.String(),
+		ParentID: s.Parent.String(),
+		Name:     s.Name,
+		Start:    s.Start.UTC().Format(time.RFC3339Nano),
+		Duration: float64(s.Duration()) / float64(time.Millisecond),
+		Attrs:    attrMap(s.Attrs),
+	}
+	if len(s.Events) > 0 {
+		out.Events = make([]eventJSON, 0, len(s.Events))
+		for _, e := range s.Events {
+			out.Events = append(out.Events, eventJSON{
+				Name:     e.Name,
+				OffsetMs: float64(e.Time.Sub(s.Start)) / float64(time.Millisecond),
+				Attrs:    attrMap(e.Attrs),
+			})
+		}
+	}
+	return out
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	traceFilter, err := trace.ParseID(q.Get("trace"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: bad trace id %q: %w", q.Get("trace"), err))
+		return
+	}
+	var minDur time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, perr := strconv.ParseFloat(v, 64)
+		if perr != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: bad min_ms %q (want a non-negative number)", v))
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: bad limit %q (want a positive integer)", v))
+			return
+		}
+		limit = n
+	}
+
+	all := s.tracer.Snapshot()
+	spans := make([]spanJSON, 0, len(all))
+	for _, sp := range all {
+		if traceFilter != 0 && sp.TraceID != traceFilter {
+			continue
+		}
+		if minDur > 0 && sp.Duration() < minDur {
+			continue
+		}
+		spans = append(spans, spanToJSON(sp))
+	}
+	// "limit" keeps the most recent spans: the snapshot is start-ordered,
+	// so trimming from the front drops the oldest.
+	if limit > 0 && len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity":     s.tracer.Capacity(),
+		"sample_every": s.tracer.SampleEvery(),
+		"recorded":     s.tracer.Recorded(),
+		"count":        len(spans),
+		"spans":        spans,
+	})
+}

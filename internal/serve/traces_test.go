@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"lafdbscan/internal/telemetry"
+	"lafdbscan/internal/trace"
+)
+
+// postJSONTrace is postJSON plus the response's X-Laf-Trace header — the
+// handle a client keeps to look its request up in /v1/traces later.
+func postJSONTrace(t *testing.T, url string, body any) (int, map[string]any, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID := resp.Header.Get(TraceHeader)
+	code, out := decodeResp(t, resp)
+	return code, out, traceID
+}
+
+// tracesFor fetches GET /v1/traces?trace=<id> and returns the spans as
+// name → span, asserting names are unique within the trace (they are, by
+// construction of the instrumentation sites).
+func tracesFor(t *testing.T, base, traceID string) map[string]map[string]any {
+	t.Helper()
+	code, body := getJSON(t, base+"/v1/traces?trace="+traceID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces?trace=%s: %d %v", traceID, code, body)
+	}
+	spans, _ := body["spans"].([]any)
+	out := make(map[string]map[string]any, len(spans))
+	for _, raw := range spans {
+		sp := raw.(map[string]any)
+		name := sp["name"].(string)
+		if _, dup := out[name]; dup {
+			t.Fatalf("trace %s holds two spans named %q", traceID, name)
+		}
+		out[name] = sp
+	}
+	return out
+}
+
+// TestTraceRootJobWaveParentage is the tentpole's end-to-end assertion,
+// run under -race in CI: one traced POST /v1/jobs yields a tree of
+// request root → job.queued + job.run (async, bridged by the submit-time
+// link) → per-wave events, all sharing the trace ID the response header
+// announced, with the run span's queries_done agreeing with the wave
+// events it contains.
+func TestTraceRootJobWaveParentage(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "d", "synthetic": map[string]any{"kind": "ms", "n": 80, "seed": 1},
+	}); code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	code, body, traceID := postJSONTrace(t, ts.URL+"/v1/jobs", map[string]any{
+		"dataset": "d", "method": "dbscan",
+		"params": map[string]any{"eps": 0.55, "tau": 5, "workers": 1},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	if traceID == "" {
+		t.Fatal("submit response carries no X-Laf-Trace header at the default 1-in-1 sampling")
+	}
+	waitState(t, s.eng, body["id"].(string), JobDone)
+
+	spans := tracesFor(t, ts.URL, traceID)
+	root, ok := spans["POST /v1/jobs"]
+	if !ok {
+		t.Fatalf("trace %s has no root span, got %v", traceID, spanNames(spans))
+	}
+	if pid, _ := root["parent_id"].(string); pid != "" {
+		t.Errorf("root span has parent_id %q, want none", pid)
+	}
+	if got := root["attrs"].(map[string]any)["status"]; got != "202" {
+		t.Errorf("root span status attr = %v, want 202", got)
+	}
+
+	rootSpanID := root["span_id"].(string)
+	for _, name := range []string{"job.queued", "job.run"} {
+		sp, ok := spans[name]
+		if !ok {
+			t.Fatalf("trace %s missing %s span, got %v", traceID, name, spanNames(spans))
+		}
+		if pid, _ := sp["parent_id"].(string); pid != rootSpanID {
+			t.Errorf("%s parent_id = %q, want root %q", name, pid, rootSpanID)
+		}
+	}
+
+	// The run span's wave events are its latency breakdown: their query
+	// counts must sum to the queries_done the span was annotated with, and
+	// the whole dataset must have been queried.
+	run := spans["job.run"]
+	attrs := run["attrs"].(map[string]any)
+	if got := attrs["state"]; got != "done" {
+		t.Errorf("job.run state attr = %v, want done", got)
+	}
+	qd, err := strconv.Atoi(attrs["queries_done"].(string))
+	if err != nil || qd < 80 {
+		t.Errorf("job.run queries_done attr = %v, want >= 80", attrs["queries_done"])
+	}
+	events, _ := run["events"].([]any)
+	if len(events) == 0 {
+		t.Fatal("job.run span has no wave events")
+	}
+	waveSum := 0
+	for _, raw := range events {
+		ev := raw.(map[string]any)
+		if ev["name"] != "wave" {
+			t.Errorf("unexpected event %q on job.run", ev["name"])
+			continue
+		}
+		q, err := strconv.Atoi(ev["attrs"].(map[string]any)["queries"].(string))
+		if err != nil {
+			t.Fatalf("wave event queries attr: %v", err)
+		}
+		waveSum += q
+	}
+	if waveSum != qd {
+		t.Errorf("wave events sum to %d queries, span says queries_done=%d", waveSum, qd)
+	}
+
+	// The same total must be what the job status and /v1/stats report —
+	// one run, three views (trace, job, stats), one number.
+	_, status := getJSON(t, ts.URL+"/v1/jobs/"+body["id"].(string))
+	if got := int(status["queries_done"].(float64)); got != qd {
+		t.Errorf("job status queries_done = %d, trace says %d", got, qd)
+	}
+	_, stats := getJSON(t, ts.URL+"/v1/stats")
+	if got := int(stats["jobs"].(map[string]any)["queries_done"].(float64)); got != qd {
+		t.Errorf("/v1/stats queries_done = %d, trace says %d", got, qd)
+	}
+}
+
+func spanNames(spans map[string]map[string]any) []string {
+	names := make([]string, 0, len(spans))
+	for n := range spans {
+		names = append(names, n)
+	}
+	return names
+}
+
+// TestTraceSamplingOverHTTP pins the deterministic 1-in-N contract at the
+// HTTP boundary: with TraceSampleEvery 2, exactly every other response
+// carries the trace header, starting with the first.
+func TestTraceSamplingOverHTTP(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 1, TraceSampleEvery: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		got := resp.Header.Get(TraceHeader)
+		if wantSampled := i%2 == 0; (got != "") != wantSampled {
+			t.Errorf("request %d: X-Laf-Trace = %q, want sampled=%v", i, got, wantSampled)
+		}
+	}
+}
+
+// TestTraceDisabledNoHeader: TraceSampleEvery < 0 turns tracing off — no
+// header, nothing recorded, /v1/traces still serves (empty).
+func TestTraceDisabledNoHeader(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 1, TraceSampleEvery: -1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(TraceHeader); got != "" {
+		t.Errorf("X-Laf-Trace = %q with tracing disabled, want none", got)
+	}
+	code, body := getJSON(t, ts.URL+"/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces: %d", code)
+	}
+	if got := body["recorded"].(float64); got != 0 {
+		t.Errorf("recorded = %v with tracing disabled, want 0", got)
+	}
+	if got := body["sample_every"].(float64); got != 0 {
+		t.Errorf("sample_every = %v, want 0", got)
+	}
+}
+
+// TestTracesFilters drives every query parameter of GET /v1/traces — the
+// trace, min_ms and limit filters and each one's 400 on bad input.
+func TestTracesFilters(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ids = append(ids, resp.Header.Get(TraceHeader))
+	}
+
+	code, body := getJSON(t, ts.URL+"/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces: %d", code)
+	}
+	if got := int(body["count"].(float64)); got < 3 {
+		t.Errorf("unfiltered count = %d, want >= 3", got)
+	}
+
+	// trace= narrows to exactly one request's spans.
+	spans := tracesFor(t, ts.URL, ids[1])
+	if len(spans) != 1 {
+		t.Errorf("trace filter returned %d spans, want 1 (healthz has no children)", len(spans))
+	}
+	for _, sp := range spans {
+		if got := sp["trace_id"].(string); got != ids[1] {
+			t.Errorf("trace filter leaked span of trace %s", got)
+		}
+	}
+
+	// min_ms high enough excludes everything; 0 is valid and excludes nothing.
+	code, body = getJSON(t, ts.URL+"/v1/traces?min_ms=3600000")
+	if code != http.StatusOK || int(body["count"].(float64)) != 0 {
+		t.Errorf("min_ms=3600000: code %d count %v, want 200 with 0", code, body["count"])
+	}
+
+	// limit keeps the most recent spans.
+	code, body = getJSON(t, ts.URL+"/v1/traces?limit=1")
+	if code != http.StatusOK || int(body["count"].(float64)) != 1 {
+		t.Fatalf("limit=1: code %d count %v, want 200 with 1", code, body["count"])
+	}
+	last := body["spans"].([]any)[0].(map[string]any)
+	if got := last["trace_id"].(string); got != ids[2] {
+		t.Errorf("limit=1 kept trace %s, want the most recent %s", got, ids[2])
+	}
+
+	for _, q := range []string{"trace=zzzz", "min_ms=-1", "min_ms=abc", "limit=0", "limit=x"} {
+		if code, _ := getJSON(t, ts.URL+"/v1/traces?"+q); code != http.StatusBadRequest {
+			t.Errorf("GET /v1/traces?%s: %d, want 400", q, code)
+		}
+	}
+}
+
+// TestTracePanicClosesRootSpan pins the middleware's panic path for the
+// tracer the way TestMetricsMiddlewarePanic does for the metrics: a
+// panicking handler must still finish its root span into the ring, marked
+// with the 500 the panic was accounted as — otherwise the flight recorder
+// goes blind exactly on the requests that crash.
+func TestTracePanicClosesRootSpan(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracer := trace.New(16, 1)
+	m := newServerMetrics(reg, tracer, nil, 0)
+	h := m.instrument("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("middleware swallowed the handler's panic")
+			}
+		}()
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/boom", nil))
+	}()
+	if got := tracer.Recorded(); got != 1 {
+		t.Fatalf("spans recorded after panic = %d, want 1", got)
+	}
+	sp := tracer.Snapshot()[0]
+	if sp.Name != "GET /boom" {
+		t.Errorf("recorded span name = %q, want GET /boom", sp.Name)
+	}
+	if sp.End.IsZero() {
+		t.Error("panicked request's root span was never finished")
+	}
+	status := ""
+	for _, a := range sp.Attrs {
+		if a.Key == "status" {
+			status = a.Value
+		}
+	}
+	if status != "500" {
+		t.Errorf("root span status attr = %q, want 500", status)
+	}
+}
+
+// TestSlowRequestLog exercises the slow-op log synchronously through the
+// middleware: over threshold logs a warning carrying the trace ID, and the
+// log fires even for unsampled requests (threshold 0 disables it).
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+
+	tracer := trace.New(16, 1)
+	m := newServerMetrics(telemetry.NewRegistry(), tracer, logger, time.Nanosecond)
+	slow := m.instrument("GET /slow", func(http.ResponseWriter, *http.Request) {
+		time.Sleep(time.Millisecond)
+	})
+	slow(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+
+	out := buf.String()
+	if !bytes.Contains([]byte(out), []byte("slow request")) {
+		t.Fatalf("no slow-request warning logged, got %q", out)
+	}
+	wantTrace := tracer.Snapshot()[0].TraceID.String()
+	if !bytes.Contains([]byte(out), []byte(wantTrace)) {
+		t.Errorf("slow-request log %q does not carry trace ID %s", out, wantTrace)
+	}
+
+	// Unsampled request: the warning still fires (latency visibility must
+	// not depend on the sampling decision), just without a trace ID.
+	buf.Reset()
+	m = newServerMetrics(telemetry.NewRegistry(), trace.New(16, 0), logger, time.Nanosecond)
+	slow = m.instrument("GET /slow", func(http.ResponseWriter, *http.Request) {
+		time.Sleep(time.Millisecond)
+	})
+	slow(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if !bytes.Contains(buf.Bytes(), []byte("slow request")) {
+		t.Errorf("unsampled slow request not logged, got %q", buf.String())
+	}
+
+	// Threshold 0 disables the log entirely.
+	buf.Reset()
+	m = newServerMetrics(telemetry.NewRegistry(), trace.New(16, 1), logger, 0)
+	slow = m.instrument("GET /slow", func(http.ResponseWriter, *http.Request) {
+		time.Sleep(time.Millisecond)
+	})
+	slow(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if buf.Len() != 0 {
+		t.Errorf("slow log fired with threshold 0: %q", buf.String())
+	}
+}
+
+// TestPprofGate: /debug/pprof/ serves only when EnablePprof is set.
+func TestPprofGate(t *testing.T) {
+	off := NewServer(Options{Workers: 1, QueueDepth: 1})
+	defer off.Close()
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	resp, err := http.Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	on := NewServer(Options{Workers: 1, QueueDepth: 1, EnablePprof: true})
+	defer on.Close()
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	resp, err = http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+}

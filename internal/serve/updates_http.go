@@ -46,11 +46,13 @@ func (s *Server) resolveVectors(inline [][]float32, dsName string) ([][]float32,
 
 // submitModelUpdate enqueues a maintenance closure for a stored model
 // under the job engine's contract, answering 202 with the job status or
-// 429 with Retry-After on a full queue.
-func (s *Server) submitModelUpdate(w http.ResponseWriter, info ModelInfo, kind string,
+// 429 with Retry-After on a full queue. ctx is the submitting request's
+// context — the engine captures its trace link so the async job's spans
+// parent under the originating POST.
+func (s *Server) submitModelUpdate(ctx context.Context, w http.ResponseWriter, info ModelInfo, kind string,
 	update func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error)) {
 	id := info.ID
-	status, err := s.eng.SubmitFunc(info.Dataset, lafdbscan.Method(info.Method), kind,
+	status, err := s.eng.SubmitFunc(ctx, info.Dataset, lafdbscan.Method(info.Method), kind,
 		func(ctx context.Context) (*lafdbscan.Result, error) {
 			model, _, err := s.models.Get(id)
 			if err != nil {
@@ -105,7 +107,7 @@ func (s *Server) handleInsertModel(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: insert vectors have %d dims, model %s has %d", dim, id, model.Dim()))
 		return
 	}
-	s.submitModelUpdate(w, info, "model-insert",
+	s.submitModelUpdate(r.Context(), w, info, "model-insert",
 		func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error) {
 			return m.Insert(ctx, vectors)
 		})
@@ -139,7 +141,7 @@ func (s *Server) handleRemovePoints(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: cannot remove %d of the model's %d points", len(req.IDs), n))
 		return
 	}
-	s.submitModelUpdate(w, info, "model-remove",
+	s.submitModelUpdate(r.Context(), w, info, "model-remove",
 		func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error) {
 			return m.Remove(ctx, req.IDs)
 		})

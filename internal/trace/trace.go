@@ -1,0 +1,369 @@
+package trace
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCapacity is the ring-buffer size when New is given capacity <= 0:
+// large enough to hold several seconds of traffic at serving rates, small
+// enough (~a few MiB of spans) to be always-on.
+const DefaultCapacity = 4096
+
+// ID identifies a trace or a span: 64 random-looking bits, rendered as 16
+// hex digits. The zero ID means "absent" (no parent, tracing disabled).
+type ID uint64
+
+// String renders the ID as fixed-width lowercase hex ("" for the zero ID,
+// so absent IDs disappear from headers and logs).
+func (id ID) String() string {
+	if id == 0 {
+		return ""
+	}
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	v := uint64(id)
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses the hex form String produces. The empty string parses to
+// the zero ID.
+func ParseID(s string) (ID, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, err
+	}
+	return ID(v), nil
+}
+
+// idState seeds ID generation with a process-unique base so two server
+// processes never mint overlapping ID sequences; each newID call advances
+// it by a fixed odd constant and mixes the result (splitmix64), which
+// walks the full 2^64 cycle with avalanche-quality distribution.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()))
+}
+
+// newID returns a fresh non-zero ID.
+func newID() ID {
+	for {
+		z := idState.Add(0x9e3779b97f4a7c15)
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		if z != 0 {
+			return ID(z)
+		}
+	}
+}
+
+// Attr is one key=value annotation on a span or event. Values are strings
+// by design: spans are a diagnostic record, not a metrics pipeline, and a
+// single representation keeps the JSON shape flat.
+type Attr struct {
+	Key, Value string
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute (rendered decimal).
+func Int(key string, v int64) Attr { return Attr{Key: key, Value: strconv.FormatInt(v, 10)} }
+
+// Event is a point-in-time marker inside a span — the wave engines emit
+// one per completed wave, so the gaps between events are the per-wave
+// latency breakdown.
+type Event struct {
+	Name  string
+	Time  time.Time
+	Attrs []Attr
+}
+
+// Span is one timed operation in a trace. TraceID groups every span of one
+// request's causal chain; Parent is the SpanID of the enclosing operation
+// (zero for the root).
+//
+// Ownership contract: until Finish, a span belongs to the goroutine
+// driving its operation — Annotate and Event must only be called from it.
+// Finish publishes the span into the tracer's ring with an atomic store,
+// after which it is immutable and may be read freely by Snapshot callers.
+// All methods are nil-receiver-safe, so unsampled call sites pay a single
+// predictable branch instead of guarding every touch.
+type Span struct {
+	TraceID ID
+	SpanID  ID
+	Parent  ID
+	Name    string
+	Start   time.Time
+	End     time.Time
+	Attrs   []Attr
+	Events  []Event
+
+	tracer *Tracer
+}
+
+// Annotate appends attributes to the span. Owner-goroutine only; no-op on
+// a nil span.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, attrs...)
+}
+
+// Event appends a timestamped event to the span. Owner-goroutine only;
+// no-op on a nil span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.Events = append(s.Events, Event{Name: name, Time: time.Now(), Attrs: attrs})
+}
+
+// Finish stamps the span's end time and publishes it into the tracer's
+// ring. Call exactly once, from the owner goroutine; the span must not be
+// mutated afterwards. No-op on a nil span — the whole record path of an
+// unsampled operation is this one branch.
+//
+//lafvet:hotpath
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.End = time.Now()
+	s.tracer.record(s)
+}
+
+// Trace is the span's trace ID, nil-safe: a nil span yields the zero ID,
+// which renders as the empty string — absent traces vanish from logs and
+// headers without a guard at the call site.
+func (s *Span) Trace() ID {
+	if s == nil {
+		return 0
+	}
+	return s.TraceID
+}
+
+// Duration is End - Start (or 0 for nil/unfinished spans).
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// spanKey carries the active span through a context.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span; children
+// started with Start parent under it. A nil s returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the active span, or nil when ctx carries none (the
+// request was unsampled, or tracing is off).
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start begins a child span under ctx's active span, returning a context
+// carrying the child. When ctx carries no span the call is free: the same
+// ctx and a nil span come back, and every method on the nil span no-ops —
+// instrumented layers never need to know whether tracing is on.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		TraceID: parent.TraceID,
+		SpanID:  newID(),
+		Parent:  parent.SpanID,
+		Name:    name,
+		Start:   time.Now(),
+		tracer:  parent.tracer,
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Link is a detachable reference to a span — the bridge for work that
+// outlives its request context (async jobs): capture a Link at submit,
+// and spans started from it later parent correctly under the original
+// request even though its context is long gone.
+type Link struct {
+	Trace ID
+	Span  ID
+
+	tracer *Tracer
+}
+
+// LinkFromContext captures the active span as a Link (the zero Link when
+// ctx carries none).
+func LinkFromContext(ctx context.Context) Link {
+	s := FromContext(ctx)
+	if s == nil {
+		return Link{}
+	}
+	return Link{Trace: s.TraceID, Span: s.SpanID, tracer: s.tracer}
+}
+
+// Valid reports whether the link references a live tracer and trace.
+func (l Link) Valid() bool { return l.tracer != nil && l.Trace != 0 }
+
+// NewSpan starts a span parented under the linked span, on the linked
+// tracer. The caller owns it (Annotate/Event/Finish as usual) and may hang
+// it on a context with ContextWithSpan. Returns nil for an invalid link.
+func (l Link) NewSpan(name string) *Span {
+	if !l.Valid() {
+		return nil
+	}
+	return &Span{
+		TraceID: l.Trace,
+		SpanID:  newID(),
+		Parent:  l.Span,
+		Name:    name,
+		Start:   time.Now(),
+		tracer:  l.tracer,
+	}
+}
+
+// Tracer records finished spans into a fixed-capacity ring buffer. The
+// record path is wait-free — one atomic add to claim a slot, one atomic
+// pointer store to publish — and allocation-free; readers (Snapshot) see
+// each slot's most recent fully published span, so a scrape never blocks
+// recording. Older spans are overwritten once the ring wraps: the tracer
+// is a flight recorder, not an archive.
+type Tracer struct {
+	slots       []atomic.Pointer[Span]
+	mask        uint64
+	sampleEvery uint64
+	roots       atomic.Uint64
+	cursor      atomic.Uint64
+}
+
+// New builds a tracer. capacity is the ring size (<= 0 selects
+// DefaultCapacity; rounded up to a power of two). sampleEvery is the root
+// sampling knob: 1 records every root span, N > 1 every Nth (deterministic
+// — roots 1, N+1, 2N+1, … are kept, so closed-loop load keeps a
+// representative, bounded stream instead of drowning the ring), and 0
+// disables tracing entirely: Root returns nil spans and nothing records.
+func New(capacity, sampleEvery int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	if sampleEvery < 0 {
+		sampleEvery = 0
+	}
+	return &Tracer{
+		slots:       make([]atomic.Pointer[Span], n),
+		mask:        uint64(n - 1),
+		sampleEvery: uint64(sampleEvery),
+	}
+}
+
+// record publishes a finished span into its ring slot.
+//
+//lafvet:hotpath
+func (t *Tracer) record(s *Span) {
+	if t == nil {
+		return
+	}
+	i := t.cursor.Add(1) - 1
+	t.slots[i&t.mask].Store(s)
+}
+
+// Root starts a root span for a new trace if the sampling decision keeps
+// it, returning a context carrying the span. Unsampled (and disabled, and
+// nil-tracer) calls return ctx unchanged and a nil span — one atomic add,
+// zero allocations.
+func (t *Tracer) Root(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil || t.sampleEvery == 0 {
+		return ctx, nil
+	}
+	n := t.roots.Add(1)
+	if (n-1)%t.sampleEvery != 0 {
+		return ctx, nil
+	}
+	s := &Span{
+		TraceID: newID(),
+		SpanID:  newID(),
+		Name:    name,
+		Start:   time.Now(),
+		tracer:  t,
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Enabled reports whether the tracer records anything at all.
+func (t *Tracer) Enabled() bool { return t != nil && t.sampleEvery > 0 }
+
+// Capacity is the ring size.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// SampleEvery is the configured 1-in-N root sampling rate (0 = disabled).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sampleEvery)
+}
+
+// Recorded is the total number of spans ever recorded (monotone; the ring
+// currently holds min(Recorded, Capacity) of them).
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(t.cursor.Load())
+}
+
+// Snapshot returns the ring's current spans ordered by start time (ties by
+// SpanID). The returned spans are finished and immutable — callers must
+// not mutate them. A scrape concurrent with heavy recording sees each
+// slot's latest published span; it never blocks writers.
+func (t *Tracer) Snapshot() []*Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]*Span, 0, len(t.slots))
+	for i := range t.slots {
+		if s := t.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out
+}

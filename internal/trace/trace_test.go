@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	if got := ID(0).String(); got != "" {
+		t.Fatalf("zero ID renders %q, want empty", got)
+	}
+	if id, err := ParseID(""); err != nil || id != 0 {
+		t.Fatalf("ParseID(\"\") = %v, %v; want 0, nil", id, err)
+	}
+	for _, id := range []ID{1, 0xdeadbeef, ID(^uint64(0))} {
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("ID %d renders %q, want 16 hex digits", id, s)
+		}
+		back, err := ParseID(s)
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", s, err)
+		}
+		if back != id {
+			t.Fatalf("round trip %d -> %q -> %d", id, s, back)
+		}
+	}
+	if _, err := ParseID("not-hex"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		id := newID()
+		if id == 0 {
+			t.Fatal("newID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRootSpanRecorded(t *testing.T) {
+	tr := New(16, 1)
+	ctx, span := tr.Root(context.Background(), "req")
+	if span == nil {
+		t.Fatal("sampled root span is nil")
+	}
+	if FromContext(ctx) != span {
+		t.Fatal("context does not carry the root span")
+	}
+	if span.TraceID == 0 || span.SpanID == 0 || span.Parent != 0 {
+		t.Fatalf("bad root identity: %+v", span)
+	}
+	span.Annotate(Str("k", "v"), Int("n", 7))
+	span.Event("tick", Int("queries", 3))
+	span.Finish()
+	got := tr.Snapshot()
+	if len(got) != 1 || got[0] != span {
+		t.Fatalf("snapshot = %v, want the finished span", got)
+	}
+	if got[0].Duration() <= 0 {
+		t.Fatal("finished span has non-positive duration")
+	}
+	if len(got[0].Attrs) != 2 || got[0].Attrs[1].Value != "7" {
+		t.Fatalf("attrs not preserved: %+v", got[0].Attrs)
+	}
+	if len(got[0].Events) != 1 || got[0].Events[0].Name != "tick" {
+		t.Fatalf("events not preserved: %+v", got[0].Events)
+	}
+}
+
+func TestChildParentage(t *testing.T) {
+	tr := New(16, 1)
+	ctx, root := tr.Root(context.Background(), "root")
+	ctx, child := Start(ctx, "child")
+	_, grand := Start(ctx, "grandchild")
+	for _, s := range []*Span{child, grand} {
+		if s == nil {
+			t.Fatal("child span is nil under a sampled root")
+		}
+		if s.TraceID != root.TraceID {
+			t.Fatalf("span %q has trace %s, want %s", s.Name, s.TraceID, root.TraceID)
+		}
+	}
+	if child.Parent != root.SpanID {
+		t.Fatalf("child parent = %s, want root %s", child.Parent, root.SpanID)
+	}
+	if grand.Parent != child.SpanID {
+		t.Fatalf("grandchild parent = %s, want child %s", grand.Parent, child.SpanID)
+	}
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+	if n := len(tr.Snapshot()); n != 3 {
+		t.Fatalf("snapshot holds %d spans, want 3", n)
+	}
+}
+
+func TestUntracedContextIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := Start(ctx, "child")
+	if span != nil {
+		t.Fatal("Start on untraced context returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start on untraced context returned a new context")
+	}
+	// Every method must tolerate the nil span.
+	span.Annotate(Str("k", "v"))
+	span.Event("e")
+	span.Finish()
+	if span.Duration() != 0 {
+		t.Fatal("nil span has nonzero duration")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("untraced context carries a span")
+	}
+	if link := LinkFromContext(ctx); link.Valid() {
+		t.Fatal("untraced context yields a valid link")
+	}
+	if s := (Link{}).NewSpan("x"); s != nil {
+		t.Fatal("invalid link minted a span")
+	}
+}
+
+func TestDisabledTracer(t *testing.T) {
+	for _, tr := range []*Tracer{nil, New(16, 0)} {
+		ctx, span := tr.Root(context.Background(), "req")
+		if span != nil {
+			t.Fatal("disabled tracer returned a span")
+		}
+		if FromContext(ctx) != nil {
+			t.Fatal("disabled tracer left a span on the context")
+		}
+		if tr.Enabled() {
+			t.Fatal("disabled tracer reports enabled")
+		}
+		if got := tr.Snapshot(); len(got) != 0 {
+			t.Fatalf("disabled tracer recorded %d spans", len(got))
+		}
+	}
+}
+
+func TestSamplingDeterminism(t *testing.T) {
+	tr := New(64, 3)
+	kept := 0
+	for i := 0; i < 9; i++ {
+		_, span := tr.Root(context.Background(), "req")
+		sampled := span != nil
+		// Roots 1, 4, 7, ... (0-indexed 0, 3, 6) are kept.
+		want := i%3 == 0
+		if sampled != want {
+			t.Fatalf("root %d sampled=%v, want %v", i, sampled, want)
+		}
+		if sampled {
+			kept++
+			span.Finish()
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("kept %d of 9 roots at 1-in-3, want 3", kept)
+	}
+	if tr.SampleEvery() != 3 {
+		t.Fatalf("SampleEvery = %d, want 3", tr.SampleEvery())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New(4, 1) // capacity rounds to exactly 4
+	if tr.Capacity() != 4 {
+		t.Fatalf("capacity = %d, want 4", tr.Capacity())
+	}
+	var last *Span
+	for i := 0; i < 10; i++ {
+		_, span := tr.Root(context.Background(), "req")
+		span.Annotate(Int("seq", int64(i)))
+		span.Finish()
+		last = span
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot holds %d spans after wrap, want 4", len(got))
+	}
+	// The four survivors are the four most recent (seq 6..9).
+	seen := make(map[string]bool)
+	for _, s := range got {
+		seen[s.Attrs[0].Value] = true
+	}
+	for _, want := range []string{"6", "7", "8", "9"} {
+		if !seen[want] {
+			t.Fatalf("survivor set %v missing seq %s", seen, want)
+		}
+	}
+	if got[len(got)-1] != last && !seen["9"] {
+		t.Fatal("most recent span lost in wrap")
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", tr.Recorded())
+	}
+}
+
+func TestCapacityRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultCapacity}, {-5, DefaultCapacity}, {1, 1}, {3, 4}, {4, 4}, {1000, 1024},
+	} {
+		if got := New(tc.in, 1).Capacity(); got != tc.want {
+			t.Fatalf("New(%d).Capacity() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLinkParentsAcrossContexts(t *testing.T) {
+	tr := New(16, 1)
+	reqCtx, root := tr.Root(context.Background(), "request")
+	link := LinkFromContext(reqCtx)
+	if !link.Valid() {
+		t.Fatal("link from traced context is invalid")
+	}
+	// The job runs later, on a detached context.
+	span := link.NewSpan("job.run")
+	if span.TraceID != root.TraceID || span.Parent != root.SpanID {
+		t.Fatalf("linked span parentage wrong: %+v vs root %+v", span, root)
+	}
+	jobCtx := ContextWithSpan(context.Background(), span)
+	_, child := Start(jobCtx, "wave")
+	if child.TraceID != root.TraceID || child.Parent != span.SpanID {
+		t.Fatal("span started under linked context mis-parented")
+	}
+	child.Finish()
+	span.Finish()
+	root.Finish()
+	if n := len(tr.Snapshot()); n != 3 {
+		t.Fatalf("snapshot holds %d spans, want 3", n)
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	tr := New(16, 1)
+	base := time.Now()
+	for i := 3; i >= 0; i-- {
+		s := &Span{TraceID: 1, SpanID: ID(i + 1), Start: base.Add(time.Duration(i) * time.Millisecond), tracer: tr}
+		s.Finish()
+	}
+	got := tr.Snapshot()
+	for i := 1; i < len(got); i++ {
+		if got[i].Start.Before(got[i-1].Start) {
+			t.Fatalf("snapshot out of order at %d: %v then %v", i, got[i-1].Start, got[i].Start)
+		}
+	}
+}
+
+// TestConcurrentRecordAndSnapshot exercises the wait-free ring under the
+// race detector: many writers finishing spans while a reader snapshots.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	tr := New(64, 1)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				ctx, span := tr.Root(context.Background(), "req")
+				_, child := Start(ctx, "child")
+				child.Event("tick")
+				child.Finish()
+				span.Finish()
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range tr.Snapshot() {
+				if s.End.IsZero() {
+					t.Error("snapshot surfaced an unfinished span")
+					return
+				}
+				_ = s.Duration()
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+}
