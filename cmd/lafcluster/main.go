@@ -7,6 +7,7 @@
 // Usage:
 //
 //	lafcluster -data test.lafd -method laf-dbscan -eps 0.55 -tau 5 -alpha 2 [-train train.lafd] [-compare]
+//	lafcluster -data test.lafd -method dbscan -eps 0.5 -tau 5 -index-backend hnsw [-ef-search 128]
 //	lafcluster -data train.lafd -method dbscan -eps 0.5 -tau 5 -save model.lafm
 //	lafcluster -load model.lafm -predict incoming.lafd
 //	lafcluster -load model.lafm -insert new.lafd -save model.lafm
@@ -71,6 +72,8 @@ func main() {
 		insertPath  = flag.String("insert", "", "dataset file to fold into the model's clustering online")
 		removeIDs   = flag.String("remove", "", "comma-separated point ids to drop from the model's clustering")
 		retrainN    = flag.Int("retrain", 0, "retrain a LAF model's estimator after this many mutations (0 = never)")
+		idxBackend  = flag.String("index-backend", "", indexBackendUsage())
+		efSearch    = flag.Int("ef-search", 0, "HNSW search beam width: larger = higher recall, slower queries (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -106,6 +109,7 @@ func main() {
 		Eps: *eps, Tau: *tau, Alpha: *alpha,
 		SampleFraction: *p, Rho: 1.0, Seed: *seed,
 		Workers: *workers, BatchSize: *batchSize, WaveSize: *waveSize,
+		IndexBackend: *idxBackend, EfSearch: *efSearch,
 	}
 	// One validation covers every flag-fed parameter — the same domain the
 	// library enforces at its entry points and lafserve returns 400s for.
@@ -151,6 +155,9 @@ func main() {
 	res := model.Result()
 	stats := lafdbscan.Stats(res.Labels)
 	fmt.Printf("method:          %s\n", res.Algorithm)
+	if b := model.IndexBackend(); b != "" {
+		fmt.Printf("index backend:   %s\n", b)
+	}
 	fmt.Printf("clustering time: %v\n", res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("clusters:        %d\n", res.NumClusters)
 	fmt.Printf("core points:     %d\n", model.NumCores())
@@ -266,6 +273,17 @@ func methodsUsage() string {
 	return out
 }
 
+// indexBackendUsage renders the -index-backend help from the backend
+// registry, so the CLI never drifts from what the library provides.
+func indexBackendUsage() string {
+	out := fmt.Sprintf("range-index backend: empty = exact default, %q = approximate chain, or one of",
+		lafdbscan.IndexBackendAuto)
+	for _, b := range lafdbscan.IndexBackends() {
+		out += " " + b
+	}
+	return out
+}
+
 // printModel summarizes a loaded model.
 func printModel(m *lafdbscan.Model, path string) {
 	fmt.Printf("model:           %s\n", path)
@@ -274,6 +292,9 @@ func printModel(m *lafdbscan.Model, path string) {
 	fmt.Printf("clusters:        %d\n", m.NumClusters())
 	fmt.Printf("core points:     %d\n", m.NumCores())
 	fmt.Printf("estimator:       %v\n", m.HasEstimator())
+	if b := m.IndexBackend(); b != "" {
+		fmt.Printf("index backend:   %s\n", b)
+	}
 }
 
 // predict assigns a dataset's points to the model's clusters and reports

@@ -7,6 +7,7 @@
 //
 //	lafserve [-addr :8080] [-job-workers N] [-queue 64] [-models 256] [-preload name=path ...]
 //	         [-log-format text|json] [-slow-request 1s] [-trace-buffer 4096] [-trace-sample 1] [-pprof]
+//	         [-index-backend auto]
 //
 // The README's "Serving" and "Models & Prediction" sections walk through
 // the full API with curl; in short: POST /v1/datasets registers data once,
@@ -79,10 +80,16 @@ func main() {
 		traceBuf  = flag.Int("trace-buffer", 0, "span ring capacity, rounded to a power of two (0 = default 4096)")
 		traceSmpl = flag.Int("trace-sample", 1, "trace every Nth request (1 = all, -1 = disable tracing)")
 		pprofOn   = flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
+		idxBack   = flag.String("index-backend", "", `default range-index backend for requests that name none ("" = exact brute force, "auto" = approximate HNSW chain, or a backend name)`)
 	)
 	flag.Var(&pre, "preload", "dataset to register at startup as name=path (repeatable)")
 	flag.Parse()
 	if *workers < 0 || *queue < 1 || *maxJobs < 0 || *maxModels < 0 || *traceBuf < 0 || *slowReq < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := serve.CheckIndexBackend(*idxBack); err != nil {
+		fmt.Fprintln(os.Stderr, "lafserve: -index-backend:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -104,6 +111,7 @@ func main() {
 		SlowRequestThreshold: *slowReq,
 		Logger:               logger,
 		EnablePprof:          *pprofOn,
+		IndexBackend:         *idxBack,
 	})
 	defer srv.Close()
 	for _, d := range pre {
@@ -133,7 +141,8 @@ func main() {
 
 	logger.Info("listening",
 		"addr", *addr, "job_workers", *workers, "queue", *queue,
-		"trace_sample", *traceSmpl, "slow_request", slowReq.String(), "pprof", *pprofOn)
+		"trace_sample", *traceSmpl, "slow_request", slowReq.String(), "pprof", *pprofOn,
+		"index_backend", *idxBack)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal("server exited", "error", err)
 	}

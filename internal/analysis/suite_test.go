@@ -82,6 +82,7 @@ var hotpathRoster = map[string][]string{
 	"../cluster/atomicunionfind.go": {"Find", "Union", "Same"},
 	"../cluster/wavemerge.go":       {"Absorb"},
 	"../telemetry/metrics.go":       {"Inc", "Add", "Set", "Dec", "Observe"},
+	"../index/hnsw/hnsw.go":         {"searchLayer"},
 	"../trace/trace.go":             {"Finish", "record"},
 }
 

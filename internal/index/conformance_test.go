@@ -1,0 +1,281 @@
+package index
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"lafdbscan/internal/vecmath"
+)
+
+// This file is the shared DynamicIndex conformance suite: one scripted
+// battery of insert/delete/DeleteMany checks, run against every
+// registered backend through the registry itself. A backend declares
+// Exact and gets held to full equivalence with a fresh brute-force scan
+// after every mutation; an approximate backend is held to the honest
+// subset of that — sound answers (every reported id is a true neighbor
+// of the compacted live set), exact Len bookkeeping, self-findability of
+// every live point, and a recall floor. Configurations are chosen so
+// approximate structures that have an exact setting (k-means tree at
+// LeavesRatio 1, grid at Rho 0) are exercised as exact.
+
+// conformanceCase configures one backend run of the suite.
+type conformanceCase struct {
+	backend string
+	exact   bool
+	opts    BackendOptions
+	eps     float64 // query radius under opts.Metric
+}
+
+func conformanceCases() []conformanceCase {
+	return []conformanceCase{
+		{BackendBrute, true, BackendOptions{Metric: vecmath.Cosine}, 0.4},
+		{BackendCoverTree, true, BackendOptions{Metric: vecmath.Cosine}, 0.4},
+		// LeavesRatio 1 examines every leaf: the approximate tree's exact
+		// configuration, so the conformance bar is full equivalence.
+		{BackendKMeansTree, true, BackendOptions{Metric: vecmath.Cosine, LeavesRatio: 1.0, Seed: 1}, 0.4},
+		// Rho 0 disables the grid's relaxation: exact under Euclidean.
+		{BackendGrid, true, BackendOptions{Metric: vecmath.Euclidean, Eps: 0.5}, 0.5},
+		{BackendHNSW, false, BackendOptions{Metric: vecmath.Cosine, Seed: 1}, 0.4},
+	}
+}
+
+func (c conformanceCase) truthIndex(pts [][]float32) *BruteForce {
+	return NewBruteForce(pts, c.opts.distFunc())
+}
+
+// applyOps drives a DynamicIndex through a scripted mutation sequence and
+// mirrors it on a plain slice, returning the expected live point set. The
+// script crosses the trees' rebuild threshold repeatedly, so the
+// rebuild-threshold path is part of conformance, not a special case.
+func applyOps(t *testing.T, idx DynamicIndex, pts [][]float32, seed int64) [][]float32 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mirror := slices.Clone(pts)
+	for step := 0; step < 40; step++ {
+		if rng.Intn(2) == 0 && len(mirror) > 8 {
+			id := rng.Intn(len(mirror))
+			idx.Delete(id)
+			mirror = slices.Delete(mirror, id, id+1)
+		} else {
+			batch := make([][]float32, 1+rng.Intn(3))
+			for i := range batch {
+				batch[i] = vecmath.RandomUnit(len(mirror[0]), rng)
+			}
+			idx.Insert(batch)
+			mirror = append(mirror, batch...)
+		}
+	}
+	return mirror
+}
+
+// checkAnswers holds a mutated index to the conformance bar against the
+// live point set.
+func checkAnswers(t *testing.T, c conformanceCase, idx RangeSearcher, mirror [][]float32) {
+	t.Helper()
+	dist := c.opts.distFunc()
+	truth := c.truthIndex(mirror)
+	found, want := 0, 0
+	for _, q := range mirror[:min(20, len(mirror))] {
+		got := idx.RangeSearch(q, c.eps)
+		exact := truth.RangeSearch(q, c.eps)
+		if c.exact {
+			if !equalIDs(got, exact) {
+				t.Fatalf("%s: exact backend diverged from brute force: %v vs %v", c.backend, got, exact)
+			}
+			if n := idx.RangeCount(q, c.eps); n != len(exact) {
+				t.Fatalf("%s: RangeCount = %d, want %d", c.backend, n, len(exact))
+			}
+		} else {
+			for _, id := range got {
+				if id < 0 || id >= len(mirror) {
+					t.Fatalf("%s: out-of-range id %d (live set %d)", c.backend, id, len(mirror))
+				}
+				if d := dist(q, mirror[id]); d >= c.eps {
+					t.Fatalf("%s: reported id %d at distance %v >= eps: compaction broke", c.backend, id, d)
+				}
+			}
+			sorted := sortedCopy(got)
+			for _, id := range exact {
+				if _, ok := slices.BinarySearch(sorted, id); ok {
+					found++
+				}
+			}
+			want += len(exact)
+		}
+	}
+	if !c.exact && want > 0 && float64(found) < 0.9*float64(want) {
+		t.Fatalf("%s: recall %d/%d fell under 0.9 after mutations", c.backend, found, want)
+	}
+	// Every live point must find itself under a near-zero radius — the
+	// strongest findability guarantee exact and approximate backends share.
+	for i, q := range mirror {
+		if ids := idx.RangeSearch(q, 1e-6); !slices.Contains(ids, i) {
+			t.Fatalf("%s: live point %d not found by its own query: %v", c.backend, i, ids)
+		}
+	}
+}
+
+// TestDynamicConformance runs the scripted mutation battery against every
+// registered backend: compacting-id semantics, Len bookkeeping and
+// post-mutation answers, with rebuild thresholds crossed along the way.
+func TestDynamicConformance(t *testing.T) {
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.backend, func(t *testing.T) {
+			pts := clusteredPoints(60, 16, 1)
+			built, err := NewBackend(c.backend, slices.Clone(pts), c.opts)
+			if err != nil {
+				t.Fatalf("building %s: %v", c.backend, err)
+			}
+			dyn, ok := built.(DynamicIndex)
+			if !ok {
+				t.Fatalf("%s does not implement DynamicIndex", c.backend)
+			}
+			mirror := applyOps(t, dyn, pts, 2)
+			if built.Len() != len(mirror) {
+				t.Fatalf("Len = %d, want %d", built.Len(), len(mirror))
+			}
+			checkAnswers(t, c, built, mirror)
+		})
+	}
+}
+
+// TestDeleteManyConformance pins the batch-deletion path of every
+// backend: one DeleteMany call must leave the index answering for the
+// surviving, renumbered point set.
+func TestDeleteManyConformance(t *testing.T) {
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.backend, func(t *testing.T) {
+			pts := clusteredPoints(80, 12, 21)
+			rng := rand.New(rand.NewSource(22))
+			ids := rng.Perm(len(pts))[:25] // 25/80 crosses the rebuild threshold
+			slices.Sort(ids)
+			mirror := make([][]float32, 0, len(pts)-len(ids))
+			for i, p := range pts {
+				if !slices.Contains(ids, i) {
+					mirror = append(mirror, p)
+				}
+			}
+			built, err := NewBackend(c.backend, slices.Clone(pts), c.opts)
+			if err != nil {
+				t.Fatalf("building %s: %v", c.backend, err)
+			}
+			built.(DynamicIndex).DeleteMany(slices.Clone(ids))
+			if built.Len() != len(mirror) {
+				t.Fatalf("Len = %d, want %d", built.Len(), len(mirror))
+			}
+			checkAnswers(t, c, built, mirror)
+		})
+	}
+}
+
+// TestDeleteManyMatchesDeleteLoop pins DeleteMany against the per-id
+// Delete loop it replaces, highest id first, on every backend.
+func TestDeleteManyMatchesDeleteLoop(t *testing.T) {
+	ids := []int{3, 10, 11, 30, 59}
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.backend, func(t *testing.T) {
+			pts := clusteredPoints(60, 12, 29)
+			batch, err := NewBackend(c.backend, slices.Clone(pts), c.opts)
+			if err != nil {
+				t.Fatalf("building %s: %v", c.backend, err)
+			}
+			batch.(DynamicIndex).DeleteMany(slices.Clone(ids))
+			loop, err := NewBackend(c.backend, slices.Clone(pts), c.opts)
+			if err != nil {
+				t.Fatalf("building %s: %v", c.backend, err)
+			}
+			for i := len(ids) - 1; i >= 0; i-- {
+				loop.(DynamicIndex).Delete(ids[i])
+			}
+			if batch.Len() != loop.Len() {
+				t.Fatalf("Len diverged: %d vs %d", batch.Len(), loop.Len())
+			}
+			mirror := slices.Clone(pts)
+			for i := len(ids) - 1; i >= 0; i-- {
+				mirror = slices.Delete(mirror, ids[i], ids[i]+1)
+			}
+			// Self-queries give a deterministic comparison that is valid
+			// for approximate backends too (an index must always find an
+			// indexed point at radius ~0).
+			for i, q := range mirror[:20] {
+				a := batch.RangeSearch(q, 1e-6)
+				b := loop.RangeSearch(q, 1e-6)
+				if !slices.Contains(a, i) || !slices.Contains(b, i) {
+					t.Fatalf("point %d lost: batch=%v loop=%v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestGridDynamicMatchesFresh keeps the grid-specific structural check
+// from the old per-index tests: mutated cells must match a fresh build
+// (including dropped empty cells), at a non-zero Rho.
+func TestGridDynamicMatchesFresh(t *testing.T) {
+	pts := clusteredPoints(60, 8, 3)
+	g := NewGrid(slices.Clone(pts), 0.5, 1.0)
+	mirror := applyOps(t, g, pts, 4)
+	fresh := NewGrid(mirror, 0.5, 1.0)
+	if g.Len() != fresh.Len() {
+		t.Fatalf("Len = %d, want %d", g.Len(), fresh.Len())
+	}
+	if g.NumCells() != fresh.NumCells() {
+		t.Fatalf("NumCells = %d, want %d (empty cells must be dropped)", g.NumCells(), fresh.NumCells())
+	}
+	for _, q := range mirror[:20] {
+		if got, want := g.ApproxRangeSearch(q, 0.5), fresh.ApproxRangeSearch(q, 0.5); !equalIDs(got, want) {
+			t.Fatalf("dynamic grid diverged: %v vs %v", got, want)
+		}
+		if got, want := g.ApproxRangeCount(q, 0.5), fresh.ApproxRangeCount(q, 0.5); got != want {
+			t.Fatalf("dynamic grid count diverged: %d vs %d", got, want)
+		}
+	}
+}
+
+// TestCoverTreeNearestAfterRebuild keeps the cover-tree-specific check:
+// NearestNeighbor answers in the compacted numbering after the rebuild
+// threshold has been crossed.
+func TestCoverTreeNearestAfterRebuild(t *testing.T) {
+	pts := clusteredPoints(40, 8, 7)
+	ct := NewCoverTree(slices.Clone(pts), vecmath.CosineDistanceUnit, 2.0)
+	mirror := slices.Clone(pts)
+	for i := 0; i < 20; i++ { // 50% deleted: crosses the 25% threshold twice
+		ct.Delete(0)
+		mirror = mirror[1:]
+	}
+	truth := NewBruteForce(mirror, vecmath.CosineDistanceUnit)
+	for _, q := range mirror {
+		if got, want := ct.RangeSearch(q, 0.5), truth.RangeSearch(q, 0.5); !equalIDs(got, want) {
+			t.Fatalf("post-rebuild cover tree diverged: %v vs %v", got, want)
+		}
+	}
+	if id, _ := ct.NearestNeighbor(mirror[0]); id < 0 || id >= len(mirror) {
+		t.Fatalf("NearestNeighbor returned out-of-range id %d", id)
+	}
+}
+
+// TestKMeansTreeRebuildMatchesFresh keeps the k-means-tree-specific
+// equivalence: a threshold-triggered rebuild is exactly a fresh build
+// (same configuration, same seed) over the live points.
+func TestKMeansTreeRebuildMatchesFresh(t *testing.T) {
+	pts := clusteredPoints(60, 16, 11)
+	cfg := KMeansTreeConfig{Seed: 2, LeavesRatio: 0.6}
+	km := NewKMeansTree(slices.Clone(pts), vecmath.CosineDistanceUnit, cfg)
+	mirror := slices.Clone(pts)
+	extra := clusteredPoints(40, 16, 12) // 40/100 > 1/4: forces a rebuild
+	km.Insert(extra)
+	mirror = append(mirror, extra...)
+	if km.overlaySize() != 0 {
+		t.Fatalf("overlay not cleared by rebuild: %d", km.overlaySize())
+	}
+	fresh := NewKMeansTree(mirror, vecmath.CosineDistanceUnit, cfg)
+	for _, q := range mirror[:30] {
+		if got, want := km.RangeSearchApprox(q, 0.4), fresh.RangeSearchApprox(q, 0.4); !equalIDs(got, want) {
+			t.Fatalf("rebuilt tree diverged from fresh build: %v vs %v", got, want)
+		}
+	}
+}

@@ -198,6 +198,12 @@ type Options struct {
 	// default because profile endpoints on a serving port are an
 	// operational decision (see docs/OPERATIONS.md).
 	EnablePprof bool
+	// IndexBackend is the server-wide default range-index backend for
+	// requests that name none: "" keeps the exact default (brute force),
+	// lafdbscan.IndexBackendAuto opts into the approximate chain (HNSW).
+	// Validate with CheckIndexBackend before constructing the server — an
+	// invalid value is a programming error and NewServer panics on it.
+	IndexBackend string
 }
 
 // runFunc executes one clustering call. The engine's default is
@@ -444,6 +450,16 @@ func validateJobSpec(reg *Registry, spec *JobSpec) error {
 	metricful := spec.Method == lafdbscan.MethodDBSCAN || spec.Method == lafdbscan.MethodLAFDBSCAN
 	if !metricful && spec.Params.Metric != lafdbscan.MetricCosine {
 		return fmt.Errorf("serve: method %q supports only the cosine metric", spec.Method)
+	}
+	// Params.Validate already rejected unknown backend names and
+	// backend/metric mismatches (the 400 path for e.g. grid+cosine). The
+	// serving layer adds one constraint of its own: shared indexes are
+	// built once per (dataset, metric) and reused across query radii, so
+	// radius-bound backends cannot serve even under a supported metric.
+	if b := spec.Params.IndexBackend; b != "" && b != lafdbscan.IndexBackendAuto {
+		if caps, ok := lafdbscan.LookupIndexBackend(b); ok && caps.NeedsEps {
+			return fmt.Errorf("serve: index backend %q is radius-bound (built per eps) and cannot back the shared per-dataset index", b)
+		}
 	}
 	return nil
 }
@@ -715,9 +731,12 @@ func (e *Engine) execute(ctx context.Context, job *Job) (*lafdbscan.Result, erro
 		return nil, err
 	}
 	p := spec.Params
-	if idx, ierr := e.reg.Index(spec.Dataset, p.Metric); ierr == nil {
-		p.Index = idx
+	idx, backend, ierr := e.reg.Index(spec.Dataset, p.Metric, p.IndexBackend)
+	if ierr != nil {
+		return nil, ierr
 	}
+	p.Index = idx
+	span.Annotate(trace.Str("laf_index_backend", backend))
 	est, cached, err := resolveEstimator(ctx, e.reg, e.est, spec)
 	if err != nil {
 		return nil, err

@@ -40,6 +40,9 @@ type ModelInfo struct {
 	// Source records how the model entered the store ("fit" or "loaded").
 	Source  string    `json:"source"`
 	Created time.Time `json:"created"`
+	// IndexBackend names the resolved range-index backend behind the model
+	// ("brute", "hnsw", ...); empty when unknown.
+	IndexBackend string `json:"index_backend,omitempty"`
 }
 
 // ModelStoreStats is the store's /stats view. The update counters
@@ -100,8 +103,13 @@ func NewModelStore(capacity int) *ModelStore {
 }
 
 // Add stores a model and returns its assigned info. source is "fit" or
-// "loaded"; dataset may be empty for loaded models.
-func (s *ModelStore) Add(model *lafdbscan.Model, dataset, source string) (ModelInfo, error) {
+// "loaded"; dataset may be empty for loaded models. indexBackend records the
+// resolved range-index backend behind the model; empty falls back to what the
+// model itself reports.
+func (s *ModelStore) Add(model *lafdbscan.Model, dataset, source, indexBackend string) (ModelInfo, error) {
+	if indexBackend == "" {
+		indexBackend = model.IndexBackend()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.entries) >= s.cap {
@@ -121,6 +129,7 @@ func (s *ModelStore) Add(model *lafdbscan.Model, dataset, source string) (ModelI
 		Staleness:    model.Staleness(),
 		Source:       source,
 		Created:      time.Now(),
+		IndexBackend: indexBackend,
 	}
 	s.entries[info.ID] = &modelEntry{model: model, info: info}
 	s.order = append(s.order, info.ID)
@@ -215,6 +224,11 @@ func (s *ModelStore) RefreshInfo(id string) {
 	e.info.HasEstimator = m.HasEstimator()
 	e.info.Updates = m.Updates()
 	e.info.Staleness = m.Staleness()
+	// Maintenance swaps the model onto an owned exact index; keep the
+	// listed backend honest.
+	if ib := m.IndexBackend(); ib != "" {
+		e.info.IndexBackend = ib
+	}
 }
 
 // Stats returns the store counters.

@@ -110,16 +110,20 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 	}
 	p := spec.Params
 	p.Estimator = est
-	if idx, ierr := s.reg.Index(spec.Dataset, p.Metric); ierr == nil {
-		p.Index = idx
+	idx, backend, ierr := s.reg.Index(spec.Dataset, p.Metric, p.IndexBackend)
+	if ierr != nil {
+		writeError(w, statusFor(ierr), ierr)
+		return
 	}
+	p.Index = idx
+	span.Annotate(trace.Str("laf_index_backend", backend))
 	start := time.Now()
 	model, err := lafdbscan.FitParams(ctx, ds.Vectors, spec.Method, p)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	info, err := s.models.Add(model, spec.Dataset, "fit")
+	info, err := s.models.Add(model, spec.Dataset, "fit", backend)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -185,7 +189,7 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	info, err := s.models.Add(model, "", "loaded")
+	info, err := s.models.Add(model, "", "loaded", "")
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

@@ -21,10 +21,13 @@ func TestRegistrySharesOneIndex(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			idx, err := reg.Index("d", lafdbscan.MetricCosine)
+			idx, backend, err := reg.Index("d", lafdbscan.MetricCosine, "")
 			if err != nil {
 				t.Error(err)
 				return
+			}
+			if backend != "brute" {
+				t.Errorf("default backend = %q, want brute", backend)
 			}
 			got[i] = idx
 		}(i)
@@ -35,12 +38,80 @@ func TestRegistrySharesOneIndex(t *testing.T) {
 			t.Fatal("concurrent Index calls built distinct indexes")
 		}
 	}
-	euc, err := reg.Index("d", lafdbscan.MetricEuclidean)
+	euc, _, err := reg.Index("d", lafdbscan.MetricEuclidean, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if euc == got[0] {
 		t.Error("euclidean and cosine share one index")
+	}
+	// An explicit "brute" shares the exact default's cache slot; "hnsw"
+	// builds (and caches) a distinct approximate index.
+	brute, _, err := reg.Index("d", lafdbscan.MetricCosine, "brute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brute != got[0] {
+		t.Error("explicit brute built a second index beside the default")
+	}
+	hnsw, backend, err := reg.Index("d", lafdbscan.MetricCosine, "hnsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != "hnsw" {
+		t.Errorf("backend = %q, want hnsw", backend)
+	}
+	if hnsw == got[0] {
+		t.Error("hnsw and brute share one index")
+	}
+	hnsw2, _, err := reg.Index("d", lafdbscan.MetricCosine, lafdbscan.IndexBackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hnsw2 != hnsw {
+		t.Error("auto resolved to a distinct index from explicit hnsw")
+	}
+}
+
+// TestRegistryDefaultIndexBackend pins the server-wide default knob: auto
+// flips unnamed requests onto the approximate chain, and invalid values are
+// rejected up front.
+func TestRegistryDefaultIndexBackend(t *testing.T) {
+	reg := testRegistry(t, "d", 40)
+	if err := reg.SetDefaultIndexBackend("nope"); err == nil {
+		t.Error("unknown default backend accepted")
+	}
+	if err := reg.SetDefaultIndexBackend("grid"); err == nil {
+		t.Error("radius-bound default backend accepted")
+	}
+	if err := reg.SetDefaultIndexBackend(lafdbscan.IndexBackendAuto); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.DefaultIndexBackend(); got != lafdbscan.IndexBackendAuto {
+		t.Errorf("DefaultIndexBackend() = %q", got)
+	}
+	_, backend, err := reg.Index("d", lafdbscan.MetricCosine, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != "hnsw" {
+		t.Errorf("auto default resolved to %q, want hnsw", backend)
+	}
+	// The request-level knob still overrides the server default.
+	_, backend, err = reg.Index("d", lafdbscan.MetricCosine, "brute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != "brute" {
+		t.Errorf("explicit brute resolved to %q", backend)
+	}
+	infos := reg.IndexInfo()
+	if len(infos) != 1 || infos[0].Dataset != "d" {
+		t.Fatalf("IndexInfo() = %+v", infos)
+	}
+	want := []string{"brute", "hnsw"}
+	if got := infos[0].Backends; len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("built backends = %v, want %v", got, want)
 	}
 }
 

@@ -66,6 +66,11 @@ type Server struct {
 // stop the engine's workers.
 func NewServer(opts Options) *Server {
 	reg := NewRegistry()
+	if err := reg.SetDefaultIndexBackend(opts.IndexBackend); err != nil {
+		// Options.IndexBackend documents the contract: callers validate
+		// with CheckIndexBackend first.
+		panic(err)
+	}
 	est := NewEstimatorCache()
 	eng := NewEngine(reg, est, opts)
 	mreg := telemetry.NewRegistry()
@@ -205,6 +210,11 @@ type paramsJSON struct {
 	BatchSize             int     `json:"batch_size,omitempty"`
 	WaveSize              int     `json:"wave_size,omitempty"`
 	DisablePostProcessing bool    `json:"disable_post_processing,omitempty"`
+	// IndexBackend names the range-index implementation ("brute", "hnsw",
+	// ..., or "auto" for the approximate fallback chain); empty keeps the
+	// server default. EfSearch is the HNSW recall knob (0 = default).
+	IndexBackend string `json:"index_backend,omitempty"`
+	EfSearch     int    `json:"ef_search,omitempty"`
 }
 
 func (p paramsJSON) toParams() (lafdbscan.Params, error) {
@@ -216,6 +226,7 @@ func (p paramsJSON) toParams() (lafdbscan.Params, error) {
 		Seed: p.Seed, Workers: p.Workers, BatchSize: p.BatchSize,
 		WaveSize:              p.WaveSize,
 		DisablePostProcessing: p.DisablePostProcessing,
+		IndexBackend:          p.IndexBackend, EfSearch: p.EfSearch,
 	}
 	switch p.Metric {
 	case "", "cosine":
@@ -462,6 +473,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"estimator_cache": s.est.Stats(),
 		"jobs":            s.eng.Stats(),
 		"models":          s.models.Stats(),
+		"index": map[string]any{
+			"default_backend": s.reg.DefaultIndexBackend(),
+			"backends":        lafdbscan.IndexBackends(),
+			"datasets":        s.reg.IndexInfo(),
+		},
 	})
 }
 

@@ -215,10 +215,16 @@ func (s *ModelStore) registerMetrics(reg *telemetry.Registry) {
 		s.pointsRemoved.Load, telemetry.Label{Name: "kind", Value: "remove"})
 }
 
-// registerMetrics exports the dataset registry's population.
+// registerMetrics exports the dataset registry's population and attaches
+// the telemetry registry for the per-backend index-build counter
+// (laf_index_builds_total{laf_index_backend=...}, bumped as shared
+// indexes are constructed).
 func (r *Registry) registerMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("laf_datasets_registered", "Datasets resident in the registry.",
 		func() float64 { return float64(r.Len()) })
+	r.mu.Lock()
+	r.telemetry = reg
+	r.mu.Unlock()
 }
 
 // registerRuntimeMetrics bridges the Go runtime into the scrape: the four

@@ -8,6 +8,7 @@ import (
 	"lafdbscan/internal/cluster"
 	"lafdbscan/internal/core"
 	"lafdbscan/internal/index"
+	"lafdbscan/internal/index/hnsw"
 	"lafdbscan/internal/metrics"
 	"lafdbscan/internal/vecmath"
 )
@@ -102,8 +103,24 @@ type Params struct {
 	// the same metric as Params.Metric. Honored by DBSCAN, DBSCAN++ and
 	// the LAF variants; KNN-BLOCK, BLOCK-DBSCAN and ρ-approximate build
 	// their own specialized structures and ignore it. Labels are identical
-	// with or without a shared index.
+	// with or without a shared index. When set, IndexBackend is ignored.
 	Index RangeIndex
+
+	// IndexBackend selects the range-index implementation by registry name
+	// (see IndexBackends: "brute", "hnsw", "covertree", "kmeanstree",
+	// "grid") for the methods that honor a shared index. The zero value
+	// resolves the default fallback chain under an exactness requirement,
+	// landing on the brute-force scan — labels stay bit-identical to every
+	// earlier release. IndexBackendAuto resolves the same chain with
+	// approximation allowed, landing on the HNSW graph (sub-linear queries,
+	// recall tunable through EfSearch). Naming a backend that does not
+	// support Params.Metric is a validation error.
+	IndexBackend string
+	// EfSearch is the HNSW recall knob: the size of the result set the
+	// graph's layer-0 best-first expansion maintains per query. 0 selects
+	// the default (hnsw.DefaultEfSearch, 64); larger values raise recall
+	// and query cost. Ignored by every other backend.
+	EfSearch int
 }
 
 // RangeIndex answers range queries over an indexed point set; see
@@ -114,13 +131,105 @@ type RangeIndex = index.RangeSearcher
 // NewBruteForceIndex builds the default parallel brute-force range-query
 // engine over points under the given metric — the index the clustering
 // entry points construct per run when Params.Index is nil, exposed so
-// serving layers can build it once and share it.
+// serving layers can build it once and share it. It is equivalent to
+// Params{}.NewIndex under the zero IndexBackend, kept as the stable
+// pre-registry constructor.
 func NewBruteForceIndex(points [][]float32, m DistanceMetric) RangeIndex {
 	dist := vecmath.CosineDistanceUnit
 	if m != MetricCosine {
 		dist = m.Func()
 	}
 	return index.NewBruteForce(points, dist)
+}
+
+// IndexBackendAuto resolves Params.IndexBackend through the default
+// fallback chain with approximation allowed: the HNSW graph where it
+// qualifies, the exact scan as the terminal fallback.
+const IndexBackendAuto = "auto"
+
+// DefaultEfSearch is the HNSW search beam width selected when
+// Params.EfSearch is zero — the recall knob's untuned setting, and the one
+// the recall gate (cmd/lafrecall) holds to its floor.
+const DefaultEfSearch = hnsw.DefaultEfSearch
+
+// IndexBackends lists the registered index backend names in registry
+// order; each is a valid Params.IndexBackend value.
+func IndexBackends() []string { return index.Backends() }
+
+// IndexBackendCapabilities describes what a registered backend promises
+// (exactness, mutability, KNN support, metrics); see the internal registry
+// for field documentation. The boolean fields serialize under snake_case
+// JSON names, so serving layers can expose the registry directly.
+type IndexBackendCapabilities = index.Capabilities
+
+// LookupIndexBackend returns the capabilities of a named backend and
+// whether the name is registered.
+func LookupIndexBackend(name string) (IndexBackendCapabilities, bool) {
+	return index.LookupBackend(name)
+}
+
+// NewIndex builds the range index p describes over points under metric m:
+// p.IndexBackend is resolved through the backend registry ("" requires
+// exactness and lands on brute force; IndexBackendAuto opts into
+// approximation and lands on HNSW; an explicit name is capability-checked
+// and used as is), then constructed with p's knobs (Seed, EfSearch,
+// Branching, LeavesRatio, Base, Rho, and — for radius-bound backends like
+// the grid — Eps). It returns the index and the resolved backend name.
+func (p Params) NewIndex(points [][]float32, m DistanceMetric) (RangeIndex, string, error) {
+	name, err := ResolveIndexBackend(p.IndexBackend, m, p.Eps > 0)
+	if err != nil {
+		return nil, "", err
+	}
+	idx, err := index.NewBackend(name, points, index.BackendOptions{
+		Metric: m, Eps: p.Eps, Rho: p.Rho, Base: p.Base,
+		Branching: p.Branching, LeavesRatio: p.LeavesRatio,
+		EfSearch: p.EfSearch, Seed: p.Seed,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return idx, name, nil
+}
+
+// ResolveIndexBackend maps an IndexBackend knob onto a concrete registry
+// name under metric m without building anything — serving layers use it to
+// key shared-index caches by the resolved name. haveEps reports whether
+// the caller can supply the query radius at build time (radius-bound
+// backends like the grid are ineligible otherwise).
+func ResolveIndexBackend(backend string, m DistanceMetric, haveEps bool) (string, error) {
+	switch backend {
+	case "":
+		// The behavior-preserving default: exactness required, so the
+		// chain resolves to the brute-force scan.
+		return index.ResolveBackend(nil, index.Requirements{Exact: true, Metric: m})
+	case IndexBackendAuto:
+		return index.ResolveBackend(nil, index.Requirements{Metric: m, HaveEps: haveEps})
+	default:
+		caps, ok := index.LookupBackend(backend)
+		if !ok {
+			return "", fmt.Errorf("lafdbscan: unknown index backend %q (have %v)", backend, index.Backends())
+		}
+		if !caps.SupportsMetric(m) {
+			return "", fmt.Errorf("lafdbscan: index backend %q does not support metric %v", backend, m)
+		}
+		return backend, nil
+	}
+}
+
+// materializeIndex builds Params.IndexBackend into Params.Index for the
+// entry points that honor a shared index. An explicit Index wins, and the
+// zero knob keeps the historical behavior (each driver builds its own
+// exact scan), so only callers that name a backend pay the construction.
+func materializeIndex(p *Params, points [][]float32, m DistanceMetric) error {
+	if p.Index != nil || p.IndexBackend == "" {
+		return nil
+	}
+	idx, _, err := p.NewIndex(points, m)
+	if err != nil {
+		return err
+	}
+	p.Index = idx
+	return nil
 }
 
 // WorkersAuto sizes the parallel engine's worker pool to GOMAXPROCS.
@@ -160,6 +269,9 @@ func DBSCANContext(ctx context.Context, points [][]float32, p Params) (*Result, 
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := materializeIndex(&p, points, p.Metric); err != nil {
+		return nil, err
+	}
 	if p.Workers != 0 {
 		return (&cluster.ParallelDBSCAN{
 			Points: points, Eps: p.Eps, Tau: p.Tau, Metric: p.Metric,
@@ -182,6 +294,11 @@ func DBSCANPPContext(ctx context.Context, points [][]float32, p Params) (*Result
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// The ++ driver is hardwired to cosine distance, so the backend is
+	// materialized under that metric regardless of Params.Metric.
+	if err := materializeIndex(&p, points, MetricCosine); err != nil {
+		return nil, err
+	}
 	return (&cluster.DBSCANPP{
 		Points: points, Eps: p.Eps, Tau: p.Tau,
 		P: p.SampleFraction, Seed: p.Seed, Index: p.Index,
@@ -196,6 +313,9 @@ func LAFDBSCAN(points [][]float32, p Params) (*Result, error) {
 // LAFDBSCANContext is LAFDBSCAN under a cancellation context.
 func LAFDBSCANContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := materializeIndex(&p, points, p.Metric); err != nil {
 		return nil, err
 	}
 	if p.Alpha == 0 {
@@ -219,6 +339,9 @@ func LAFDBSCANPP(points [][]float32, p Params) (*Result, error) {
 // LAFDBSCANPPContext is LAFDBSCANPP under a cancellation context.
 func LAFDBSCANPPContext(ctx context.Context, points [][]float32, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := materializeIndex(&p, points, MetricCosine); err != nil {
 		return nil, err
 	}
 	if p.Alpha == 0 {

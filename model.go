@@ -82,6 +82,15 @@ func WithWaveSize(w int) FitOption { return func(p *Params) { p.WaveSize = w } }
 // fitted model retains it for prediction.
 func WithIndex(idx RangeIndex) FitOption { return func(p *Params) { p.Index = idx } }
 
+// WithIndexBackend selects the range-index implementation by registry name
+// (see Params.IndexBackend): "" keeps the exact default, IndexBackendAuto
+// opts into the approximate fallback chain, and an explicit name ("hnsw",
+// "covertree", ...) is used as is after a capability check.
+func WithIndexBackend(name string) FitOption { return func(p *Params) { p.IndexBackend = name } }
+
+// WithEfSearch sets the HNSW recall knob (see Params.EfSearch).
+func WithEfSearch(ef int) FitOption { return func(p *Params) { p.EfSearch = ef } }
+
 // Model is a fitted clustering: the labels plus every expensive artifact the
 // run produced — the core-point set, the canonical cluster forest, the range
 // index, and (for the LAF methods) the trained estimator. Where Cluster
@@ -116,7 +125,11 @@ type Model struct {
 	// nearest-core prediction.
 	coreIDs []int
 	index   RangeIndex
-	result  *Result
+	// indexBackend is the registry name the model's index was resolved to
+	// ("" when the caller supplied a pre-built index). The first mutation
+	// resets it to the exact scan the maintenance overlay installs.
+	indexBackend string
+	result       *Result
 
 	// inc is the incremental-maintenance overlay, built lazily by the
 	// first Insert or Remove (see model_incremental.go).
@@ -158,9 +171,17 @@ func FitParams(ctx context.Context, points [][]float32, m Method, p Params) (*Mo
 	// The specialized methods (KNN-BLOCK, BLOCK-DBSCAN, ρ-approximate)
 	// build their own structures and never see p.Index; prediction still
 	// needs a plain range index over the training points, so one is built
-	// (or the caller's shared one retained) either way.
+	// (or the caller's shared one retained) either way. Construction goes
+	// through the backend registry: the zero IndexBackend resolves to the
+	// exact brute-force scan, preserving bit-identical labels.
+	resolvedBackend := ""
 	if p.Index == nil {
-		p.Index = NewBruteForceIndex(points, metric)
+		idx, name, err := p.NewIndex(points, metric)
+		if err != nil {
+			return nil, err
+		}
+		p.Index = idx
+		resolvedBackend = name
 	}
 	fitParams := p
 	if !methodHonorsIndex(m) {
@@ -173,7 +194,7 @@ func FitParams(ctx context.Context, points [][]float32, m Method, p Params) (*Mo
 	if (m == MethodLAFDBSCAN || m == MethodLAFDBSCANPP) && p.Alpha == 0 {
 		p.Alpha = 1 // the dispatch's neutral default, made visible
 	}
-	return newModel(m, p, points, res), nil
+	return newModel(m, p, points, res, resolvedBackend), nil
 }
 
 // methodHonorsIndex reports whether the method's driver accepts a shared
@@ -187,8 +208,9 @@ func methodHonorsIndex(m Method) bool {
 }
 
 // newModel wraps a finished clustering into a Model. p.Index must be the
-// prediction index over points.
-func newModel(m Method, p Params, points [][]float32, res *Result) *Model {
+// prediction index over points; indexBackend is the registry name it was
+// resolved to ("" for a caller-supplied index).
+func newModel(m Method, p Params, points [][]float32, res *Result, indexBackend string) *Model {
 	coreIDs := make([]int, 0, len(res.Core)/2)
 	for i, c := range res.Core {
 		if c {
@@ -196,15 +218,16 @@ func newModel(m Method, p Params, points [][]float32, res *Result) *Model {
 		}
 	}
 	return &Model{
-		method:  m,
-		params:  p,
-		points:  points,
-		labels:  res.Labels,
-		core:    res.Core,
-		forest:  res.Forest,
-		coreIDs: coreIDs,
-		index:   p.Index,
-		result:  res,
+		method:       m,
+		params:       p,
+		points:       points,
+		labels:       res.Labels,
+		core:         res.Core,
+		forest:       res.Forest,
+		coreIDs:      coreIDs,
+		index:        p.Index,
+		indexBackend: indexBackend,
+		result:       res,
 	}
 }
 
@@ -242,6 +265,17 @@ func (m *Model) dimLocked() int {
 		return 0
 	}
 	return len(m.points[0])
+}
+
+// IndexBackend returns the registry name of the backend the model's range
+// index was resolved through ("brute", "hnsw", ...), or "" when the index
+// was supplied pre-built by the caller (the lafserve registry reports its
+// own backend in that case). After the first Insert/Remove it reports the
+// exact scan the maintenance overlay installs.
+func (m *Model) IndexBackend() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.indexBackend
 }
 
 // NumClusters returns the current number of clusters.
@@ -484,6 +518,11 @@ type modelParamsV1 struct {
 	Workers               int
 	BatchSize             int
 	WaveSize              int
+	// IndexBackend and EfSearch joined in PR 9 (backend registry); gob
+	// zeroes them when decoding older streams, which resolves to the exact
+	// default — the behavior those models were saved under.
+	IndexBackend string
+	EfSearch     int
 }
 
 // modelPayloadV1 is the gob payload following the binary header, shared by
@@ -537,6 +576,7 @@ func (m *Model) Save(w io.Writer) error {
 			Metric: int32(p.Metric), Seed: p.Seed,
 			DisablePostProcessing: p.DisablePostProcessing,
 			Workers:               p.Workers, BatchSize: p.BatchSize, WaveSize: p.WaveSize,
+			IndexBackend: p.IndexBackend, EfSearch: p.EfSearch,
 		},
 		Points:      m.points,
 		Labels:      labels,
@@ -625,6 +665,7 @@ func loadModelV1(r io.Reader) (*Model, error) {
 		Metric: DistanceMetric(pp.Metric), Seed: pp.Seed,
 		DisablePostProcessing: pp.DisablePostProcessing,
 		Workers:               pp.Workers, BatchSize: pp.BatchSize, WaveSize: pp.WaveSize,
+		IndexBackend: pp.IndexBackend, EfSearch: pp.EfSearch,
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("lafdbscan: malformed model: %w", err)
@@ -640,7 +681,15 @@ func loadModelV1(r io.Reader) (*Model, error) {
 	for i, l := range payload.Labels {
 		labels[i] = int(l)
 	}
-	p.Index = NewBruteForceIndex(payload.Points, modelMetric(m, p.Metric))
+	// The prediction index is rebuilt through the backend registry from
+	// the persisted knob: old streams decode to the zero IndexBackend and
+	// get the exact scan they were saved under; models fitted on a named
+	// backend get a deterministic rebuild (same backend, same seed).
+	idx, resolvedBackend, err := p.NewIndex(payload.Points, modelMetric(m, p.Metric))
+	if err != nil {
+		return nil, fmt.Errorf("lafdbscan: rebuilding model index: %w", err)
+	}
+	p.Index = idx
 	res := &Result{
 		Algorithm:   payload.Algorithm,
 		Labels:      labels,
@@ -648,7 +697,7 @@ func loadModelV1(r io.Reader) (*Model, error) {
 		Core:        payload.Core,
 		Forest:      payload.Forest,
 	}
-	model := newModel(m, p, payload.Points, res)
+	model := newModel(m, p, payload.Points, res, resolvedBackend)
 	//lafvet:allow lockcheck the model is freshly deserialized and not yet visible to any other goroutine
 	model.updates = payload.Updates
 	return model, nil

@@ -180,6 +180,7 @@ func (m *Model) ensureIncLocked(ctx context.Context) error {
 	}
 	m.points = points
 	m.index = dyn
+	m.indexBackend = index.BackendBrute
 	// The model's index is privately owned and mutated from here on, so it
 	// must not leak through Params(): a caller holding Params().Index would
 	// race the maintenance writes and watch ids shift underneath it. With

@@ -1,6 +1,10 @@
 package lafdbscan
 
-import "fmt"
+import (
+	"fmt"
+
+	"lafdbscan/internal/index"
+)
 
 // Validate checks that every set field of p lies in its documented domain.
 // All clustering entry points call it before running, so a bad parameter
@@ -54,6 +58,24 @@ func (p Params) Validate() error {
 	}
 	if p.Metric != MetricCosine && p.Metric != MetricEuclidean {
 		return fail("Metric", p.Metric, "must be MetricCosine or MetricEuclidean")
+	}
+	// The backend knob is validated against the registry here, so a CLI
+	// flag, an HTTP params block and a direct library call all reject an
+	// unknown name or a backend/metric mismatch with the same message
+	// before any index is built.
+	if p.IndexBackend != "" && p.IndexBackend != IndexBackendAuto {
+		caps, ok := index.LookupBackend(p.IndexBackend)
+		if !ok {
+			return fail("IndexBackend", p.IndexBackend,
+				fmt.Sprintf("must be empty (exact default), %q, or one of %v", IndexBackendAuto, index.Backends()))
+		}
+		if !caps.SupportsMetric(p.Metric) {
+			return fail("IndexBackend", p.IndexBackend,
+				fmt.Sprintf("does not support metric %v", p.Metric))
+		}
+	}
+	if p.EfSearch < 0 {
+		return fail("EfSearch", p.EfSearch, "must be non-negative (0 selects the default)")
 	}
 	// Below zero only -1 has a defined meaning for Workers (all cores) and
 	// WaveSize (buffer everything); BatchSize is a chunk size with no

@@ -13,6 +13,7 @@ func TestParamsValidate(t *testing.T) {
 		Eps: 2, Tau: 1, Alpha: 2.5, SampleFraction: 1,
 		Branching: 10, LeavesRatio: 0.6, Base: 2, RNT: 10, Rho: 1,
 		Metric: MetricEuclidean, Workers: WorkersAuto, BatchSize: 8, WaveSize: -1,
+		IndexBackend: "hnsw", EfSearch: 128,
 	}
 	if err := full.Validate(); err != nil {
 		t.Fatalf("boundary params rejected: %v", err)
@@ -36,6 +37,11 @@ func TestParamsValidate(t *testing.T) {
 		{"workers below -1", func(p *Params) { p.Workers = -2 }},
 		{"batch negative", func(p *Params) { p.BatchSize = -1 }},
 		{"wave below -1", func(p *Params) { p.WaveSize = -2 }},
+		{"index backend unknown", func(p *Params) { p.IndexBackend = "bogus" }},
+		// The grid only answers euclidean queries; naming it under the
+		// default cosine metric is a capability mismatch.
+		{"index backend metric-incapable", func(p *Params) { p.IndexBackend = "grid" }},
+		{"ef search negative", func(p *Params) { p.EfSearch = -1 }},
 	}
 	for _, c := range bad {
 		p := good
