@@ -1,0 +1,73 @@
+package lafdbscan
+
+import (
+	"context"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"lafdbscan/internal/wal"
+)
+
+// BenchmarkWALAppend measures the journal hot path: one buffered encode
+// plus one Write per record. With the sync policy off it must be
+// allocation-free — the encode buffer is reused across appends, so the
+// only work is framing and the write syscall. Guarded by benchguard.
+func BenchmarkWALAppend(b *testing.B) {
+	l, err := wal.Create(wal.OSFS(), filepath.Join(b.TempDir(), "seg.log"), wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := wal.Record{Kind: wal.KindInsert, Vectors: [][]float32{make([]float32, 16)}}
+	if err := l.Append(&rec); err != nil { // warm the encode buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures a cold OpenDurable: load the snapshot,
+// replay a realistic WAL tail (20 insert batches) through the incremental
+// overlay, and reopen the segment. Guarded by benchguard.
+func BenchmarkRecovery(b *testing.B) {
+	data := GenerateMixture("bench-recovery", MixtureConfig{
+		N: 660, Dim: 16, Clusters: 4, MinSpread: 0.15, MaxSpread: 0.3,
+		NoiseFrac: 0.2, Seed: 61,
+	})
+	ctx := context.Background()
+	model, err := FitParams(ctx, slices.Clone(data.Vectors[:500]), MethodDBSCAN, Params{Eps: 0.4, Tau: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := filepath.Join(b.TempDir(), "journal")
+	d, err := NewDurable(model, dir, DurableOptions{Sync: wal.SyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for off := 500; off < 660; off += 8 {
+		if _, err := d.Insert(ctx, data.Vectors[off:off+8]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, rep, err := OpenDurable(ctx, dir, DurableOptions{Sync: wal.SyncOff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Records != 20 || rep.Truncated {
+			b.Fatalf("recovery report = %+v, want 20 clean records", rep)
+		}
+		re.Close()
+	}
+}

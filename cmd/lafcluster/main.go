@@ -12,6 +12,9 @@
 //	lafcluster -load model.lafm -predict incoming.lafd
 //	lafcluster -load model.lafm -insert new.lafd -save model.lafm
 //	lafcluster -load model.lafm -remove 3,17,42 -save model.lafm
+//	lafcluster -data train.lafd -method dbscan -eps 0.5 -tau 5 -wal /var/lib/laf/m1
+//	lafcluster -wal /var/lib/laf/m1 -insert new.lafd -snapshot
+//	lafcluster -wal /var/lib/laf/m1 -predict incoming.lafd
 //
 // Modes:
 //
@@ -28,6 +31,13 @@
 //     scratch for the traversal methods. -retrain N retrains a LAF model's
 //     estimator once N mutations have accumulated. Combine with -save to
 //     persist the evolved model.
+//   - Durable: -wal roots the model in a journal directory. With -data or
+//     -load it seeds a fresh journal (snapshot plus write-ahead log); alone
+//     it recovers the journaled model — replaying the log, cutting a torn
+//     tail — and every -insert/-remove is journaled before it is applied,
+//     so a crash between runs loses nothing that was committed. -snapshot
+//     rolls the journal generation before exiting; docs/DURABILITY.md
+//     covers the format and recovery semantics.
 //
 // When -method is laf-dbscan or laf-dbscan++ an RMI estimator is trained
 // first — on -train when given, otherwise on the dataset itself — and its
@@ -47,6 +57,7 @@ import (
 	"time"
 
 	"lafdbscan"
+	"lafdbscan/internal/wal"
 )
 
 func main() {
@@ -74,8 +85,45 @@ func main() {
 		retrainN    = flag.Int("retrain", 0, "retrain a LAF model's estimator after this many mutations (0 = never)")
 		idxBackend  = flag.String("index-backend", "", indexBackendUsage())
 		efSearch    = flag.Int("ef-search", 0, "HNSW search beam width: larger = higher recall, slower queries (0 = default 64)")
+		walDir      = flag.String("wal", "", "journal directory for a durable model: -data/-load seeds it, alone recovers it")
+		walSync     = flag.String("wal-sync", "always", "WAL fsync policy: always, interval or off (with -wal)")
+		doSnapshot  = flag.Bool("snapshot", false, "commit a journal snapshot before exiting (with -wal)")
 	)
 	flag.Parse()
+
+	if _, err := wal.ParseSyncPolicy(*walSync); err != nil {
+		log.Print("-wal-sync: ", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *doSnapshot && *walDir == "" {
+		log.Fatal("-snapshot requires -wal")
+	}
+
+	// Durable recovery mode: -wal alone reopens a journaled model where a
+	// previous run left it, replaying the write-ahead log on its snapshot.
+	if *walDir != "" && *dataPath == "" && *loadPath == "" {
+		if *compare {
+			log.Fatal("-wal recovery replaces clustering; it cannot combine with -compare")
+		}
+		opts := durableOptions(*walSync)
+		d, rep, err := lafdbscan.OpenDurable(context.Background(), *walDir, opts)
+		if err != nil {
+			log.Fatalf("recovering journal %s: %v", *walDir, err)
+		}
+		defer closeDurable(d)
+		printModel(d.Model(), *walDir)
+		printRecovery(rep)
+		maintain(d.Model(), d, *insertPath, *removeIDs, *retrainN)
+		if *predictPath != "" {
+			predict(d.Model(), *predictPath, *gate)
+		}
+		maybeSnapshot(d, *doSnapshot)
+		if *savePath != "" {
+			saveModel(d.Model(), *savePath)
+		}
+		return
+	}
 
 	if *loadPath != "" {
 		if *dataPath != "" || *compare {
@@ -86,7 +134,14 @@ func main() {
 			log.Fatalf("loading model %s: %v", *loadPath, err)
 		}
 		printModel(model, *loadPath)
-		maintain(model, *insertPath, *removeIDs, *retrainN)
+		var mut modelMutator = model
+		if *walDir != "" {
+			d := seedJournal(model, *walDir, *walSync)
+			defer closeDurable(d)
+			defer maybeSnapshot(d, *doSnapshot)
+			mut = d
+		}
+		maintain(model, mut, *insertPath, *removeIDs, *retrainN)
 		if *predictPath != "" {
 			predict(model, *predictPath, *gate)
 		}
@@ -179,7 +234,14 @@ func main() {
 			truth.Elapsed.Seconds()/res.Elapsed.Seconds())
 	}
 
-	maintain(model, *insertPath, *removeIDs, *retrainN)
+	var mut modelMutator = model
+	if *walDir != "" {
+		d := seedJournal(model, *walDir, *walSync)
+		defer closeDurable(d)
+		defer maybeSnapshot(d, *doSnapshot)
+		mut = d
+	}
+	maintain(model, mut, *insertPath, *removeIDs, *retrainN)
 
 	if *savePath != "" {
 		saveModel(model, *savePath)
@@ -189,10 +251,72 @@ func main() {
 	}
 }
 
-// maintain applies the online-maintenance flags to a model: the retrain
-// policy first (so it can trigger on this run's mutations), then -insert,
-// then -remove.
-func maintain(model *lafdbscan.Model, insertPath, removeIDs string, retrainN int) {
+// modelMutator is the mutation surface maintenance runs against: the bare
+// model, or its journal when -wal is set (so every mutation is journaled
+// before it is applied).
+type modelMutator interface {
+	Insert(ctx context.Context, vectors [][]float32) (lafdbscan.UpdateReport, error)
+	Remove(ctx context.Context, ids []int) (lafdbscan.UpdateReport, error)
+}
+
+// durableOptions maps the (already validated) -wal-sync flag onto journal
+// options.
+func durableOptions(syncPolicy string) lafdbscan.DurableOptions {
+	p, err := wal.ParseSyncPolicy(syncPolicy)
+	if err != nil {
+		log.Fatalf("-wal-sync: %v", err)
+	}
+	return lafdbscan.DurableOptions{Sync: p}
+}
+
+// seedJournal starts a fresh journal for a fitted or loaded model.
+func seedJournal(model *lafdbscan.Model, dir, syncPolicy string) *lafdbscan.DurableModel {
+	d, err := lafdbscan.NewDurable(model, dir, durableOptions(syncPolicy))
+	if err != nil {
+		log.Fatalf("seeding journal %s: %v", dir, err)
+	}
+	fmt.Printf("journal:         %s (seeded, sync %s)\n", dir, syncPolicy)
+	return d
+}
+
+// printRecovery summarizes what OpenDurable replayed and what it had to cut.
+func printRecovery(rep lafdbscan.RecoveryReport) {
+	fmt.Printf("journal:         snapshot lsn %d, replayed %d records (%d inserted, %d removed) in %v\n",
+		rep.SnapshotLSN, rep.Records, rep.Inserted, rep.Removed, rep.Elapsed.Round(time.Millisecond))
+	if rep.Truncated {
+		fmt.Printf("journal tail cut: %s (%d bytes dropped)\n", rep.Reason, rep.DroppedBytes)
+	}
+	if rep.SnapshotsDropped > 0 {
+		fmt.Printf("snapshots dropped: %d (unloadable, recovered from an older generation)\n", rep.SnapshotsDropped)
+	}
+}
+
+// maybeSnapshot commits a journal snapshot when -snapshot was given.
+func maybeSnapshot(d *lafdbscan.DurableModel, on bool) {
+	if !on {
+		return
+	}
+	info, err := d.Snapshot()
+	if err != nil {
+		log.Fatalf("snapshot: %v", err)
+	}
+	fmt.Printf("snapshot:        lsn %d (%d bytes, %d stale files compacted)\n",
+		info.LSN, info.Bytes, info.Compacted)
+}
+
+// closeDurable syncs and closes the journal; a failure here means the last
+// mutations may not be on disk, which deserves a hard exit code.
+func closeDurable(d *lafdbscan.DurableModel) {
+	if err := d.Close(); err != nil {
+		log.Fatalf("closing journal: %v", err)
+	}
+}
+
+// maintain applies the online-maintenance flags: the retrain policy first
+// (so it can trigger on this run's mutations), then -insert, then -remove.
+// Mutations go through mut — the journal when -wal is set — while the
+// retrain policy lives on the model itself either way.
+func maintain(model *lafdbscan.Model, mut modelMutator, insertPath, removeIDs string, retrainN int) {
 	if retrainN > 0 {
 		model.SetRetrainPolicy(lafdbscan.RetrainPolicy{
 			After: retrainN,
@@ -218,7 +342,7 @@ func maintain(model *lafdbscan.Model, insertPath, removeIDs string, retrainN int
 			log.Fatalf("insert dataset has %d dims, model has %d", data.Dim(), model.Dim())
 		}
 		start := time.Now()
-		rep, err := model.Insert(context.Background(), data.Vectors)
+		rep, err := mut.Insert(context.Background(), data.Vectors)
 		if err != nil {
 			log.Fatalf("inserting: %v", err)
 		}
@@ -234,7 +358,7 @@ func maintain(model *lafdbscan.Model, insertPath, removeIDs string, retrainN int
 			ids = append(ids, id)
 		}
 		start := time.Now()
-		rep, err := model.Remove(context.Background(), ids)
+		rep, err := mut.Remove(context.Background(), ids)
 		if err != nil {
 			log.Fatalf("removing: %v", err)
 		}

@@ -7,7 +7,7 @@
 //
 //	lafserve [-addr :8080] [-job-workers N] [-queue 64] [-models 256] [-preload name=path ...]
 //	         [-log-format text|json] [-slow-request 1s] [-trace-buffer 4096] [-trace-sample 1] [-pprof]
-//	         [-index-backend auto]
+//	         [-index-backend auto] [-wal-dir /var/lib/laf/wal] [-wal-sync always] [-wal-snapshot-every 1024]
 //
 // The README's "Serving" and "Models & Prediction" sections walk through
 // the full API with curl; in short: POST /v1/datasets registers data once,
@@ -19,6 +19,13 @@
 // recent request traces (every response carries its trace ID in
 // X-Laf-Trace), and -pprof adds Go's profiling endpoints under
 // /debug/pprof/; docs/OPERATIONS.md is the operator handbook.
+//
+// With -wal-dir every model mutation is journaled to a write-ahead log
+// before it is applied: POST /v1/models/{id}/stream ingests vectors in
+// durable micro-batches, POST /v1/models/{id}/snapshot rolls a model's
+// journal generation, and a restart recovers every journaled model —
+// losing at most the record a crash tore. docs/DURABILITY.md covers the
+// record format, fsync policies and recovery semantics.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"lafdbscan/internal/serve"
+	"lafdbscan/internal/wal"
 )
 
 // preloads collects repeatable -preload name=path flags.
@@ -81,10 +89,20 @@ func main() {
 		traceSmpl = flag.Int("trace-sample", 1, "trace every Nth request (1 = all, -1 = disable tracing)")
 		pprofOn   = flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/")
 		idxBack   = flag.String("index-backend", "", `default range-index backend for requests that name none ("" = exact brute force, "auto" = approximate HNSW chain, or a backend name)`)
+		walDir    = flag.String("wal-dir", "", "journal root for durable models; empty runs memory-only (see docs/DURABILITY.md)")
+		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: always (every record), interval (batched), or off")
+		walSnap   = flag.Int("wal-snapshot-every", 0, "auto-snapshot a model after this many journaled records (0 = default 1024)")
 	)
 	flag.Var(&pre, "preload", "dataset to register at startup as name=path (repeatable)")
 	flag.Parse()
-	if *workers < 0 || *queue < 1 || *maxJobs < 0 || *maxModels < 0 || *traceBuf < 0 || *slowReq < 0 {
+	if *workers < 0 || *queue < 1 || *maxJobs < 0 || *maxModels < 0 || *traceBuf < 0 || *slowReq < 0 || *walSnap < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	// NewServer treats an invalid sync policy as a programming error, so
+	// validate the flag here where a typo gets a usage message instead.
+	if _, err := wal.ParseSyncPolicy(*walSync); err != nil {
+		fmt.Fprintln(os.Stderr, "lafserve: -wal-sync:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -112,6 +130,9 @@ func main() {
 		Logger:               logger,
 		EnablePprof:          *pprofOn,
 		IndexBackend:         *idxBack,
+		WALDir:               *walDir,
+		WALSync:              *walSync,
+		WALSnapshotEvery:     *walSnap,
 	})
 	defer srv.Close()
 	for _, d := range pre {
@@ -142,7 +163,7 @@ func main() {
 	logger.Info("listening",
 		"addr", *addr, "job_workers", *workers, "queue", *queue,
 		"trace_sample", *traceSmpl, "slow_request", slowReq.String(), "pprof", *pprofOn,
-		"index_backend", *idxBack)
+		"index_backend", *idxBack, "wal_dir", *walDir, "wal_sync", *walSync)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal("server exited", "error", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"lafdbscan"
 	"lafdbscan/internal/index"
 	"lafdbscan/internal/trace"
+	"lafdbscan/internal/wal"
 )
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity. It
@@ -204,6 +205,25 @@ type Options struct {
 	// Validate with CheckIndexBackend before constructing the server — an
 	// invalid value is a programming error and NewServer panics on it.
 	IndexBackend string
+
+	// WALDir enables durable models: every fitted, loaded or streamed model
+	// gets a write-ahead-logged journal under this directory, and boot
+	// recovers whatever journals it finds there (see docs/DURABILITY.md).
+	// Empty keeps the server memory-only.
+	WALDir string
+	// WALSync is the journal fsync policy: "always" (default; every
+	// committed mutation survives a crash), "interval" (bounded loss,
+	// fewer fsyncs) or "off". Validate with wal.ParseSyncPolicy before
+	// constructing the server — an invalid value is a programming error
+	// and NewServer panics on it.
+	WALSync string
+	// WALSnapshotEvery rolls a model's journal generation (snapshot +
+	// compaction) once its active segment holds this many records; <= 0
+	// selects 1024.
+	WALSnapshotEvery int
+	// WALFS overrides the journal filesystem — tests inject crash faults
+	// through it; nil selects the real disk.
+	WALFS wal.FS
 }
 
 // runFunc executes one clustering call. The engine's default is

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -53,6 +54,7 @@ type ModelStoreStats struct {
 	Capacity       int   `json:"capacity"`
 	Fitted         int64 `json:"fitted"`
 	Loaded         int64 `json:"loaded"`
+	Recovered      int64 `json:"recovered"`
 	Deleted        int64 `json:"deleted"`
 	Predictions    int64 `json:"predictions"`
 	Inserts        int64 `json:"inserts"`
@@ -76,6 +78,7 @@ type ModelStore struct {
 
 	fitted      atomic.Int64
 	loaded      atomic.Int64
+	recovered   atomic.Int64
 	deleted     atomic.Int64
 	predictions atomic.Int64
 
@@ -88,6 +91,18 @@ type ModelStore struct {
 type modelEntry struct {
 	model *lafdbscan.Model
 	info  ModelInfo
+	// durable, when non-nil, journals the model's mutations; maintenance
+	// must route through it (see Mutator) or updates would not survive a
+	// restart.
+	durable *lafdbscan.DurableModel
+}
+
+// ModelMutator is the mutation surface maintenance jobs run against:
+// *lafdbscan.Model satisfies it directly, *lafdbscan.DurableModel wraps
+// the same calls in journal-before-apply.
+type ModelMutator interface {
+	Insert(ctx context.Context, vectors [][]float32) (lafdbscan.UpdateReport, error)
+	Remove(ctx context.Context, ids []int) (lafdbscan.UpdateReport, error)
 }
 
 // defaultModelCap bounds the store when Options does not size it.
@@ -142,6 +157,123 @@ func (s *ModelStore) Add(model *lafdbscan.Model, dataset, source, indexBackend s
 	return info, nil
 }
 
+// AddRecovered stores a model recovered from its journal at boot under its
+// original id (Source "recovered"), keeping the id sequence ahead of every
+// recovered id so freshly fitted models never collide with journals on
+// disk.
+func (s *ModelStore) AddRecovered(id string, d *lafdbscan.DurableModel) (ModelInfo, error) {
+	model := d.Model()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; ok {
+		return ModelInfo{}, fmt.Errorf("serve: model %s: %w", id, ErrExists)
+	}
+	if len(s.entries) >= s.cap {
+		return ModelInfo{}, fmt.Errorf("serve: %w (capacity %d)", ErrModelStoreFull, s.cap)
+	}
+	var n int64
+	if _, err := fmt.Sscanf(id, "m-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	info := ModelInfo{
+		ID:           id,
+		Method:       string(model.Method()),
+		Points:       model.Len(),
+		Dims:         model.Dim(),
+		Clusters:     model.NumClusters(),
+		Cores:        model.NumCores(),
+		HasEstimator: model.HasEstimator(),
+		Updates:      model.Updates(),
+		Staleness:    model.Staleness(),
+		Source:       "recovered",
+		Created:      time.Now(),
+		IndexBackend: model.IndexBackend(),
+	}
+	s.entries[id] = &modelEntry{model: model, info: info, durable: d}
+	s.order = append(s.order, id)
+	s.recovered.Add(1)
+	return info, nil
+}
+
+// SetDurable attaches a journal to a stored model (fit and load do this
+// right after Add when the server runs with a WAL directory).
+func (s *ModelStore) SetDurable(id string, d *lafdbscan.DurableModel) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return fmt.Errorf("serve: model %s: %w", id, ErrUnknownModel)
+	}
+	e.durable = d
+	return nil
+}
+
+// Durable returns the journal attached to id, or nil when the model is
+// memory-only (the id itself must exist).
+func (s *ModelStore) Durable(id string) (*lafdbscan.DurableModel, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: model %s: %w", id, ErrUnknownModel)
+	}
+	return e.durable, nil
+}
+
+// Mutator resolves the mutation surface for id: the journal when one is
+// attached (so updates survive a restart), the bare model otherwise. The
+// model pointer serves reads either way.
+func (s *ModelStore) Mutator(id string) (*lafdbscan.Model, ModelMutator, ModelInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, nil, ModelInfo{}, fmt.Errorf("serve: model %s: %w", id, ErrUnknownModel)
+	}
+	if e.durable != nil {
+		return e.model, e.durable, e.info, nil
+	}
+	return e.model, e.model, e.info, nil
+}
+
+// walStats sums journal telemetry across stored models: how many carry a
+// journal and the records/bytes in their active segments.
+func (s *ModelStore) walStats() (models int, records, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		e := s.entries[id]
+		if e.durable == nil {
+			continue
+		}
+		models++
+		st := e.durable.Stats()
+		records += st.SegmentRecords
+		bytes += st.SegmentBytes
+	}
+	return models, records, bytes
+}
+
+// CloseDurables flushes and closes every attached journal — the clean
+// shutdown path. Models stay readable; only journaled mutation stops.
+func (s *ModelStore) CloseDurables() error {
+	s.mu.Lock()
+	durables := make([]*lafdbscan.DurableModel, 0, len(s.order))
+	for _, id := range s.order {
+		if d := s.entries[id].durable; d != nil {
+			durables = append(durables, d)
+		}
+	}
+	s.mu.Unlock()
+	var errs []error
+	for _, d := range durables {
+		if err := d.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // Get returns the model and info stored under id.
 func (s *ModelStore) Get(id string) (*lafdbscan.Model, ModelInfo, error) {
 	s.mu.Lock()
@@ -153,11 +285,15 @@ func (s *ModelStore) Get(id string) (*lafdbscan.Model, ModelInfo, error) {
 	return e.model, e.info, nil
 }
 
-// Delete removes the model stored under id.
+// Delete removes the model stored under id. An attached journal is
+// destroyed with it (outside the store lock — journal teardown does I/O):
+// deleting the model is the explicit statement that its state should not
+// come back at the next boot.
 func (s *ModelStore) Delete(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.entries[id]; !ok {
+	e, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("serve: model %s: %w", id, ErrUnknownModel)
 	}
 	delete(s.entries, id)
@@ -168,6 +304,12 @@ func (s *ModelStore) Delete(id string) error {
 		}
 	}
 	s.deleted.Add(1)
+	s.mu.Unlock()
+	if e.durable != nil {
+		if err := e.durable.Destroy(); err != nil {
+			return fmt.Errorf("serve: model %s deleted but journal cleanup failed: %w", id, err)
+		}
+	}
 	return nil
 }
 
@@ -241,6 +383,7 @@ func (s *ModelStore) Stats() ModelStoreStats {
 		Capacity:       s.cap,
 		Fitted:         s.fitted.Load(),
 		Loaded:         s.loaded.Load(),
+		Recovered:      s.recovered.Load(),
 		Deleted:        s.deleted.Load(),
 		Predictions:    s.predictions.Load(),
 		Inserts:        s.inserts.Load(),

@@ -128,6 +128,14 @@ func (s *Server) handleFitModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	if err := s.attachJournal(info.ID, model); err != nil {
+		// A model the journal cannot protect must not exist: callers asked
+		// for durability (-wal-dir) and would otherwise silently lose it.
+		_ = s.models.Delete(info.ID)
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("serve: journaling model %s: %w", info.ID, err))
+		return
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"model":            info,
 		"estimator_cached": cached,
@@ -192,6 +200,12 @@ func (s *Server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 	info, err := s.models.Add(model, "", "loaded", "")
 	if err != nil {
 		writeError(w, statusFor(err), err)
+		return
+	}
+	if err := s.attachJournal(info.ID, model); err != nil {
+		_ = s.models.Delete(info.ID)
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("serve: journaling model %s: %w", info.ID, err))
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"model": info})

@@ -35,6 +35,8 @@ import (
 //	POST   /v1/models/{id}/predict  assign vectors to the model's clusters
 //	POST   /v1/models/{id}/insert   async: fold new vectors into the clustering (202, job id)
 //	POST   /v1/models/{id}/delete   async: drop point ids from the clustering (202, job id)
+//	POST   /v1/models/{id}/stream   async: journaled micro-batched insert stream (202, job id)
+//	POST   /v1/models/{id}/snapshot commit a journaled model's snapshot generation (200)
 //	GET    /v1/stats             registry / cache / engine / model counters
 //	GET    /v1/traces            recent request traces (?trace=, ?min_ms=, ?limit=)
 //	GET    /v1/healthz           liveness
@@ -59,6 +61,10 @@ type Server struct {
 	fitSlots chan struct{}
 	mux      *http.ServeMux
 	start    time.Time
+	logger   *slog.Logger
+	// wal, when non-nil, journals every stored model's mutations (see
+	// docs/DURABILITY.md); nil means memory-only operation.
+	wal *walManager
 }
 
 // NewServer wires a fresh registry, estimator cache, job engine and model
@@ -98,7 +104,16 @@ func NewServer(opts Options) *Server {
 		fitSlots: make(chan struct{}, eng.workers),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		logger:   logger,
 	}
+	wm, err := newWALManager(opts, mreg, s.models)
+	if err != nil {
+		// Options.WALDir/WALSync document the contract: callers validate the
+		// sync policy with wal.ParseSyncPolicy and pick a creatable
+		// directory before constructing the server.
+		panic(err)
+	}
+	s.wal = wm
 	reg.registerMetrics(mreg)
 	est.registerMetrics(mreg)
 	eng.registerMetrics(mreg)
@@ -108,6 +123,10 @@ func NewServer(opts Options) *Server {
 	mreg.GaugeFunc("laf_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	s.routes(opts.EnablePprof)
+	// Recovery runs after the mux and metrics exist so recovered models are
+	// fully observable, but before NewServer returns so the first request
+	// already sees them.
+	s.recoverJournaledModels()
 	return s
 }
 
@@ -123,8 +142,15 @@ func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
 // datasets from flags through it).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Close stops the job engine.
-func (s *Server) Close() { s.eng.Close() }
+// Close stops the job engine and flushes every model journal (the clean
+// shutdown path; a hard kill instead relies on WAL replay at the next
+// boot).
+func (s *Server) Close() {
+	s.eng.Close()
+	if err := s.models.CloseDurables(); err != nil {
+		s.logger.Error("wal: closing model journals", "err", err)
+	}
+}
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -157,6 +183,8 @@ func (s *Server) routes(enablePprof bool) {
 	s.handle("POST /v1/models/{id}/predict", s.handlePredict)
 	s.handle("POST /v1/models/{id}/insert", s.handleInsertModel)
 	s.handle("POST /v1/models/{id}/delete", s.handleRemovePoints)
+	s.handle("POST /v1/models/{id}/stream", s.handleStreamModel)
+	s.handle("POST /v1/models/{id}/snapshot", s.handleSnapshotModel)
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -473,6 +501,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"estimator_cache": s.est.Stats(),
 		"jobs":            s.eng.Stats(),
 		"models":          s.models.Stats(),
+		"wal":             s.wal.stats(s.models),
 		"index": map[string]any{
 			"default_backend": s.reg.DefaultIndexBackend(),
 			"backends":        lafdbscan.IndexBackends(),

@@ -301,11 +301,80 @@ func TestServerSmoke(t *testing.T) {
 		}
 	}
 
-	// 11. /stats reflects the cache amortization, the model activity and
-	// the maintenance counters.
+	// 11. Durable streaming: fold more vectors in through the micro-batched
+	// stream endpoint (journaled chunk by chunk when the server runs with
+	// -wal-dir) and pin the evolved labeling against a fresh library fit,
+	// exactly like the all-or-nothing insert above.
+	const streamN, streamChunk = 24, 8
+	streamed := ds.Vectors[grow : grow+streamN]
+	code, body = postJSON(t, base+"/v1/models/"+modelID+"/stream", map[string]any{
+		"vectors": streamed, "chunk": streamChunk,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("stream: %d %v", code, body)
+	}
+	if body["kind"].(string) != "model-stream" {
+		t.Errorf("stream job kind = %v, want model-stream", body["kind"])
+	}
+	streamJob := body["id"].(string)
+	for {
+		code, body = getJSON(t, base+"/v1/jobs/"+streamJob)
+		if code != http.StatusOK {
+			t.Fatalf("stream status: %d %v", code, body)
+		}
+		state = body["state"].(string)
+		if state == "done" || state == "failed" || state == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream job stuck in %q", state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("stream job ended %q: %v", state, body["error"])
+	}
+	code, body = getJSON(t, base+"/v1/models/"+modelID)
+	if code != http.StatusOK || body["points"].(float64) != float64(n+grow+streamN) {
+		t.Fatalf("model after stream: %d %v, want %d points", code, body, n+grow+streamN)
+	}
+	code, body = getJSON(t, base+"/v1/jobs/"+streamJob+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("stream result: %d %v", code, body)
+	}
+	rawStreamed := body["labels"].([]any)
+	wantStreamed, err := lafdbscan.Cluster(append(append([][]float32{}, grownPts...), streamed...),
+		lafdbscan.MethodLAFDBSCAN, lafdbscan.Params{
+			Eps: 0.55, Tau: 5, Alpha: 1.2, Seed: 3, Workers: 2, Estimator: est,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantStreamed.Labels {
+		if int(rawStreamed[i].(float64)) != wantStreamed.Labels[i] {
+			t.Fatalf("post-stream label[%d] = %v, fresh library fit %d", i, rawStreamed[i], wantStreamed.Labels[i])
+		}
+	}
+
+	// 12. /stats reflects the cache amortization, the model activity and
+	// the maintenance counters; when the server runs with a journal
+	// (-wal-dir, as the CI smoke job does) the stream above was journaled,
+	// so a snapshot rolls the model's generation on demand.
 	code, body = getJSON(t, base+"/v1/stats")
 	if code != http.StatusOK {
 		t.Fatalf("stats: %d %v", code, body)
+	}
+	if walSec, ok := body["wal"].(map[string]any); ok && walSec["enabled"].(bool) {
+		if walSec["appends"].(float64) < 1 {
+			t.Errorf("journaled server reports %v WAL appends after streaming", walSec["appends"])
+		}
+		code, snap := postJSON(t, base+"/v1/models/"+modelID+"/snapshot", nil)
+		if code != http.StatusOK {
+			t.Fatalf("snapshot: %d %v", code, snap)
+		}
+		if snap["lsn"].(float64) < 1 {
+			t.Errorf("snapshot lsn = %v, want >= 1", snap["lsn"])
+		}
 	}
 	cache := body["estimator_cache"].(map[string]any)
 	if cache["hits"].(float64) < 1 {
@@ -322,7 +391,7 @@ func TestServerSmoke(t *testing.T) {
 		t.Errorf("stats jobs queries_done = %v, want >= %d", body["jobs"].(map[string]any)["queries_done"], n)
 	}
 
-	// 12. /metrics parses as Prometheus text format and carries the request
+	// 13. /metrics parses as Prometheus text format and carries the request
 	// histogram the walkthrough just fed — the serve-smoke CI job's
 	// observability assertion, run against the live binary.
 	samples, families := scrapeMetrics(t, base)

@@ -50,15 +50,17 @@ func (s *Server) resolveVectors(inline [][]float32, dsName string) ([][]float32,
 // context — the engine captures its trace link so the async job's spans
 // parent under the originating POST.
 func (s *Server) submitModelUpdate(ctx context.Context, w http.ResponseWriter, info ModelInfo, kind string,
-	update func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error)) {
+	update func(ctx context.Context, m ModelMutator) (lafdbscan.UpdateReport, error)) {
 	id := info.ID
 	status, err := s.eng.SubmitFunc(ctx, info.Dataset, lafdbscan.Method(info.Method), kind,
 		func(ctx context.Context) (*lafdbscan.Result, error) {
-			model, _, err := s.models.Get(id)
+			// Mutator routes through the model's journal when one is
+			// attached, so the update survives a restart.
+			model, mut, _, err := s.models.Mutator(id)
 			if err != nil {
 				return nil, err
 			}
-			report, err := update(ctx, model)
+			report, err := update(ctx, mut)
 			if err != nil {
 				return nil, err
 			}
@@ -108,7 +110,7 @@ func (s *Server) handleInsertModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.submitModelUpdate(r.Context(), w, info, "model-insert",
-		func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error) {
+		func(ctx context.Context, m ModelMutator) (lafdbscan.UpdateReport, error) {
 			return m.Insert(ctx, vectors)
 		})
 }
@@ -142,7 +144,7 @@ func (s *Server) handleRemovePoints(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.submitModelUpdate(r.Context(), w, info, "model-remove",
-		func(ctx context.Context, m *lafdbscan.Model) (lafdbscan.UpdateReport, error) {
+		func(ctx context.Context, m ModelMutator) (lafdbscan.UpdateReport, error) {
 			return m.Remove(ctx, req.IDs)
 		})
 }

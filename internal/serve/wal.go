@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lafdbscan"
+	"lafdbscan/internal/telemetry"
+	"lafdbscan/internal/trace"
+	"lafdbscan/internal/wal"
+)
+
+// walManager owns the server's durability wiring: one journal directory
+// per model id under the configured root, the shared fsync policy, and the
+// WAL telemetry every journal feeds. nil (no -wal-dir) means the server
+// runs memory-only, exactly as before.
+type walManager struct {
+	dir           string
+	sync          wal.SyncPolicy
+	snapshotEvery int
+	fsys          wal.FS
+
+	appends       atomic.Int64
+	appendedBytes atomic.Int64
+	fsyncs        atomic.Int64
+	snapshots     atomic.Int64
+
+	recoveries       atomic.Int64
+	recoveryFailures atomic.Int64
+	recoveredRecords atomic.Int64
+	droppedBytes     atomic.Int64
+	truncations      atomic.Int64
+
+	fsyncSeconds *telemetry.Histogram
+}
+
+// defaultSnapshotEvery bounds replay work: a journal segment never grows
+// past this many records before a snapshot rolls the generation.
+const defaultSnapshotEvery = 1024
+
+// newWALManager builds the manager from Options, creating the root
+// directory. Options.WALSync must already be validated (the contract
+// NewServer documents); the returned manager is nil when WALDir is empty.
+func newWALManager(opts Options, reg *telemetry.Registry, store *ModelStore) (*walManager, error) {
+	if opts.WALDir == "" {
+		return nil, nil
+	}
+	policy, err := wal.ParseSyncPolicy(opts.WALSync)
+	if err != nil {
+		return nil, err
+	}
+	fsys := opts.WALFS
+	if fsys == nil {
+		fsys = wal.OSFS()
+	}
+	if err := fsys.MkdirAll(opts.WALDir); err != nil {
+		return nil, err
+	}
+	every := opts.WALSnapshotEvery
+	if every <= 0 {
+		every = defaultSnapshotEvery
+	}
+	m := &walManager{dir: opts.WALDir, sync: policy, snapshotEvery: every, fsys: fsys}
+	m.register(reg, store)
+	return m, nil
+}
+
+func (m *walManager) register(reg *telemetry.Registry, store *ModelStore) {
+	reg.CounterFunc("laf_wal_appends_total", "WAL records appended across all model journals.", m.appends.Load)
+	reg.CounterFunc("laf_wal_appended_bytes_total", "WAL bytes appended across all model journals.", m.appendedBytes.Load)
+	reg.CounterFunc("laf_wal_fsyncs_total", "WAL fsyncs issued across all model journals.", m.fsyncs.Load)
+	reg.CounterFunc("laf_wal_snapshots_total", "Model snapshots committed (explicit and automatic).", m.snapshots.Load)
+	reg.CounterFunc("laf_wal_recoveries_total", "Models recovered from their journals at boot.", m.recoveries.Load)
+	reg.CounterFunc("laf_wal_recovery_failures_total", "Journals that failed to recover at boot (skipped, logged).", m.recoveryFailures.Load)
+	reg.CounterFunc("laf_wal_recovered_records_total", "WAL records replayed during boot recovery.", m.recoveredRecords.Load)
+	reg.CounterFunc("laf_wal_dropped_bytes_total", "Torn or corrupt journal bytes dropped during recovery.", m.droppedBytes.Load)
+	reg.CounterFunc("laf_wal_truncations_total", "Recoveries that had to cut a torn or corrupt journal tail.", m.truncations.Load)
+	m.fsyncSeconds = reg.Histogram("laf_wal_fsync_seconds",
+		"WAL fsync latency in seconds.",
+		[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
+	reg.GaugeFunc("laf_wal_models", "Models with an attached journal.",
+		func() float64 { models, _, _ := store.walStats(); return float64(models) })
+	reg.GaugeFunc("laf_wal_segment_records", "Records in the active WAL segments (sum over models).",
+		func() float64 { _, records, _ := store.walStats(); return float64(records) })
+	reg.GaugeFunc("laf_wal_segment_bytes", "Bytes in the active WAL segments (sum over models).",
+		func() float64 { _, _, bytes := store.walStats(); return float64(bytes) })
+}
+
+// modelDir returns the journal directory for one model id.
+func (m *walManager) modelDir(id string) string { return filepath.Join(m.dir, id) }
+
+// durableOptions bridges the manager's policy and telemetry hooks into a
+// model journal's options.
+func (m *walManager) durableOptions() lafdbscan.DurableOptions {
+	return lafdbscan.DurableOptions{
+		Sync:          m.sync,
+		SnapshotEvery: m.snapshotEvery,
+		FS:            m.fsys,
+		OnAppend: func(bytes int) {
+			m.appends.Add(1)
+			m.appendedBytes.Add(int64(bytes))
+		},
+		OnFsync: func(d time.Duration) {
+			m.fsyncs.Add(1)
+			m.fsyncSeconds.Observe(d.Seconds())
+		},
+		OnSnapshot: func(int64) { m.snapshots.Add(1) },
+	}
+}
+
+// stats is the /v1/stats "wal" section.
+func (m *walManager) stats(store *ModelStore) map[string]any {
+	if m == nil {
+		return map[string]any{"enabled": false}
+	}
+	models, records, bytes := store.walStats()
+	return map[string]any{
+		"enabled":           true,
+		"dir":               m.dir,
+		"sync":              m.sync.String(),
+		"snapshot_every":    m.snapshotEvery,
+		"models":            models,
+		"segment_records":   records,
+		"segment_bytes":     bytes,
+		"appends":           m.appends.Load(),
+		"appended_bytes":    m.appendedBytes.Load(),
+		"fsyncs":            m.fsyncs.Load(),
+		"snapshots":         m.snapshots.Load(),
+		"recoveries":        m.recoveries.Load(),
+		"recovery_failures": m.recoveryFailures.Load(),
+		"recovered_records": m.recoveredRecords.Load(),
+		"dropped_bytes":     m.droppedBytes.Load(),
+		"truncations":       m.truncations.Load(),
+	}
+}
+
+// attachJournal starts a fresh journal for a model that just entered the
+// store (fit or load) and registers it on the entry, so every later
+// mutation is journaled. No-op without a WAL manager.
+func (s *Server) attachJournal(id string, model *lafdbscan.Model) error {
+	if s.wal == nil {
+		return nil
+	}
+	d, err := lafdbscan.NewDurable(model, s.wal.modelDir(id), s.wal.durableOptions())
+	if err != nil {
+		return err
+	}
+	return s.models.SetDurable(id, d)
+}
+
+// recoverJournaledModels reopens every model journal under the WAL root at
+// boot, replaying each onto a recovered model registered under its
+// original id. A journal that fails to recover is logged and skipped —
+// boot continues with the models that survive; the failure is visible in
+// laf_wal_recovery_failures_total and the recovery span.
+func (s *Server) recoverJournaledModels() {
+	if s.wal == nil {
+		return
+	}
+	names, err := s.wal.fsys.ReadDir(s.wal.dir)
+	if err != nil {
+		s.logger.Error("wal: listing journal root", "dir", s.wal.dir, "err", err)
+		return
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.HasPrefix(name, "m-") {
+			continue
+		}
+		//lafvet:allow ctxflow recovery runs at boot, before any request context exists
+		ctx, span := s.tracer.Root(context.Background(), "wal.recover")
+		d, rep, err := lafdbscan.OpenDurable(ctx, s.wal.modelDir(name), s.wal.durableOptions())
+		if err != nil {
+			s.wal.recoveryFailures.Add(1)
+			s.logger.Error("wal: recovering model journal", "model", name, "err", err)
+			if span != nil {
+				span.Annotate(trace.Str("model", name), trace.Str("error", err.Error()))
+				span.Finish()
+			}
+			continue
+		}
+		if _, aerr := s.models.AddRecovered(name, d); aerr != nil {
+			s.wal.recoveryFailures.Add(1)
+			s.logger.Error("wal: storing recovered model", "model", name, "err", aerr)
+			d.Close()
+			if span != nil {
+				span.Annotate(trace.Str("model", name), trace.Str("error", aerr.Error()))
+				span.Finish()
+			}
+			continue
+		}
+		s.wal.recoveries.Add(1)
+		s.wal.recoveredRecords.Add(rep.Records)
+		s.wal.droppedBytes.Add(rep.DroppedBytes)
+		if rep.Truncated {
+			s.wal.truncations.Add(1)
+			s.logger.Warn("wal: recovery cut a torn journal tail",
+				"model", name, "reason", rep.Reason, "dropped_bytes", rep.DroppedBytes)
+		}
+		s.logger.Info("wal: recovered model",
+			"model", name, "snapshot_lsn", rep.SnapshotLSN, "records", rep.Records,
+			"truncated", rep.Truncated, "elapsed", rep.Elapsed)
+		if span != nil {
+			span.Annotate(
+				trace.Str("model", name),
+				trace.Int("snapshot_lsn", rep.SnapshotLSN),
+				trace.Int("records", rep.Records),
+				trace.Int("dropped_bytes", rep.DroppedBytes),
+			)
+			span.Finish()
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	"lafdbscan"
+	"lafdbscan/internal/dataset"
+	"lafdbscan/internal/wal"
+	"lafdbscan/internal/wal/walfs"
+)
+
+// These tests pin the serve layer's durability contract end to end over the
+// HTTP surface: a server booted with a WAL directory journals every model
+// mutation, survives a hard kill mid-stream losing at most the torn record,
+// reports the recovery in /v1/stats, and keeps journaling afterwards. They
+// use plain DBSCAN models (no estimator training) so they stay fast enough
+// for -short and -race runs.
+
+// mustPollDone polls a job to the "done" state, failing the test on any
+// other terminal state.
+func mustPollDone(t *testing.T, base, id string) {
+	t.Helper()
+	if state, body := pollJob(t, base, id); state != "done" {
+		t.Fatalf("job %s ended %q: %v", id, state, body["error"])
+	}
+}
+
+// jobLabels fetches a finished job's result labels.
+func jobLabels(t *testing.T, base, id string) []int {
+	t.Helper()
+	code, body := getJSON(t, base+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("job %s result: %d %v", id, code, body)
+	}
+	raw := body["labels"].([]any)
+	labels := make([]int, len(raw))
+	for i, v := range raw {
+		labels[i] = int(v.(float64))
+	}
+	return labels
+}
+
+// walSection extracts the "wal" section of /v1/stats.
+func walSection(t *testing.T, base string) map[string]any {
+	t.Helper()
+	code, body := getJSON(t, base+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %v", code, body)
+	}
+	sec, ok := body["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no wal section: %v", body)
+	}
+	return sec
+}
+
+// TestServerWALRecovery is the serve-layer crash drill: boot with a journal
+// on a fault-injecting filesystem, fit a model, stream one batch (committed),
+// then arm the write budget so the next stream's first journal append tears
+// mid-record — the server keeps running on its in-memory state, which is
+// exactly what a kill -9 loses. Rebooting on the healthy filesystem must
+// recover the committed prefix bit-identically to a fresh fit on it, report
+// the torn tail in /v1/stats, and accept new journaled mutations.
+func TestServerWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	fsys := walfs.New(wal.OSFS())
+	s := NewServer(Options{Workers: 2, QueueDepth: 16, WALDir: dir, WALSync: "always", WALFS: fsys})
+	ts := httptest.NewServer(s.Handler())
+
+	const n, seed = 160, 9
+	ds := dataset.MSLike(n, seed)
+	code, body := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name":      "d",
+		"synthetic": map[string]any{"kind": "ms", "n": n, "seed": seed},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	params := map[string]any{"eps": 0.55, "tau": 5, "workers": 2}
+	code, body = postJSON(t, ts.URL+"/v1/models", map[string]any{
+		"dataset": "d", "method": "dbscan", "params": params,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("fit: %d %v", code, body)
+	}
+	id := body["model"].(map[string]any)["id"].(string)
+
+	// Stream the first batch in journaled micro-batches: 10 vectors in
+	// chunks of 4 is 3 WAL records, all committed with -wal-sync=always.
+	b1 := ds.Vectors[:10]
+	code, body = postJSON(t, ts.URL+"/v1/models/"+id+"/stream", map[string]any{
+		"vectors": b1, "chunk": 4,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("stream: %d %v", code, body)
+	}
+	if kind := body["kind"].(string); kind != "model-stream" {
+		t.Errorf("stream job kind = %q, want model-stream", kind)
+	}
+	mustPollDone(t, ts.URL, body["id"].(string))
+
+	// Hard kill mid-batch: the budget covers 10 bytes, so the next stream's
+	// first journal append persists a 10-byte torn prefix and the disk dies.
+	// The server itself keeps applying in memory — the state a crash loses.
+	fsys.CrashAfter(10)
+	b2 := ds.Vectors[10:20]
+	code, body = postJSON(t, ts.URL+"/v1/models/"+id+"/stream", map[string]any{
+		"vectors": b2, "chunk": 4,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("doomed stream: %d %v", code, body)
+	}
+	mustPollDone(t, ts.URL, body["id"].(string))
+	code, body = getJSON(t, ts.URL+"/v1/models/"+id)
+	if code != http.StatusOK || body["points"].(float64) != n+20 {
+		t.Fatalf("in-memory model after doomed stream: %d %v", code, body)
+	}
+	if !fsys.Dead() {
+		t.Fatal("crash budget was never exhausted — the tear did not happen")
+	}
+	ts.Close()
+	s.Close()
+
+	// Reboot on the healthy filesystem. Recovery must replay the three
+	// committed records and cut the 10-byte torn tail.
+	s2 := NewServer(Options{Workers: 2, QueueDepth: 16, WALDir: dir, WALSync: "always"})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() { ts2.Close(); s2.Close() }()
+
+	code, body = getJSON(t, ts2.URL+"/v1/models/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("recovered model info: %d %v", code, body)
+	}
+	if src := body["source"].(string); src != "recovered" {
+		t.Errorf("recovered model source = %q, want recovered", src)
+	}
+	if pts := body["points"].(float64); pts != float64(n+len(b1)) {
+		t.Errorf("recovered model has %v points, want %d (the journaled prefix)", pts, n+len(b1))
+	}
+
+	sec := walSection(t, ts2.URL)
+	for key, want := range map[string]float64{
+		"enabled":           1, // true decodes as bool below
+		"recoveries":        1,
+		"recovery_failures": 0,
+		"recovered_records": 3,
+		"truncations":       1,
+		"dropped_bytes":     10,
+		"models":            1,
+	} {
+		if key == "enabled" {
+			if !sec["enabled"].(bool) {
+				t.Error("stats report wal disabled on a journaled server")
+			}
+			continue
+		}
+		if got := sec[key].(float64); got != want {
+			t.Errorf("stats wal.%s = %v, want %v", key, got, want)
+		}
+	}
+
+	// The recovered labeling equals a fresh library fit on the surviving
+	// prefix, bit for bit: download the model and compare directly.
+	resp, err := http.Get(ts2.URL + "/v1/models/" + id + "/save")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("save recovered model: %d %v", resp.StatusCode, err)
+	}
+	recovered, err := lafdbscan.LoadModel(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := append(slices.Clone(ds.Vectors), b1...)
+	want, err := lafdbscan.Cluster(prefix, lafdbscan.MethodDBSCAN, lafdbscan.Params{
+		Eps: 0.55, Tau: 5, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recovered.Result().Labels; !slices.Equal(got, want.Labels) {
+		t.Error("recovered model labels differ from a fresh fit on the journaled prefix")
+	}
+
+	// The journal keeps working after recovery: a new insert is journaled,
+	// applied, and its labeling still equals a fresh fit on the grown set.
+	b3 := ds.Vectors[20:32]
+	code, body = postJSON(t, ts2.URL+"/v1/models/"+id+"/insert", map[string]any{"vectors": b3})
+	if code != http.StatusAccepted {
+		t.Fatalf("post-recovery insert: %d %v", code, body)
+	}
+	mustPollDone(t, ts2.URL, body["id"].(string))
+	grownWant, err := lafdbscan.Cluster(append(slices.Clone(prefix), b3...), lafdbscan.MethodDBSCAN,
+		lafdbscan.Params{Eps: 0.55, Tau: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jobLabels(t, ts2.URL, body["id"].(string)); !slices.Equal(got, grownWant.Labels) {
+		t.Error("post-recovery insert labels differ from a fresh fit on the grown set")
+	}
+	if appends := walSection(t, ts2.URL)["appends"].(float64); appends < 1 {
+		t.Errorf("post-recovery appends = %v, want >= 1", appends)
+	}
+}
+
+// TestServerWALWalkthrough is the clean-shutdown counterpart on the real
+// filesystem: fit → stream → snapshot → close → reopen. The snapshot rolls
+// the journal generation, so the reboot loads the snapshot and replays
+// nothing; predictions through the recovered model are bit-identical to the
+// original's.
+func TestServerWALWalkthrough(t *testing.T) {
+	dir := t.TempDir()
+	s := NewServer(Options{Workers: 2, QueueDepth: 16, WALDir: dir, WALSync: "always"})
+	ts := httptest.NewServer(s.Handler())
+
+	const n, seed = 140, 11
+	ds := dataset.MSLike(n, seed)
+	code, body := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name":      "d",
+		"synthetic": map[string]any{"kind": "ms", "n": n, "seed": seed},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/models", map[string]any{
+		"dataset": "d", "method": "dbscan",
+		"params": map[string]any{"eps": 0.55, "tau": 5, "workers": 2},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("fit: %d %v", code, body)
+	}
+	id := body["model"].(map[string]any)["id"].(string)
+
+	// Stream 48 vectors in chunks of 16: three journal records.
+	code, body = postJSON(t, ts.URL+"/v1/models/"+id+"/stream", map[string]any{
+		"vectors": ds.Vectors[:48], "chunk": 16,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("stream: %d %v", code, body)
+	}
+	mustPollDone(t, ts.URL, body["id"].(string))
+
+	// Predict a probe set through the live model; the recovered model must
+	// reproduce these labels exactly.
+	probe := map[string]any{"vectors": ds.Vectors[:32]}
+	code, body = postJSON(t, ts.URL+"/v1/models/"+id+"/predict", probe)
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d %v", code, body)
+	}
+	before := body["labels"].([]any)
+
+	// Snapshot: the journal is at LSN 3 (three stream records); committing
+	// rolls the generation and compacts the old snapshot plus its segment.
+	code, body = postJSON(t, ts.URL+"/v1/models/"+id+"/snapshot", nil)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", code, body)
+	}
+	if lsn := body["lsn"].(float64); lsn != 3 {
+		t.Errorf("snapshot lsn = %v, want 3", lsn)
+	}
+	if compacted := body["compacted"].(float64); compacted != 2 {
+		t.Errorf("snapshot compacted %v files, want 2 (old snapshot + old segment)", compacted)
+	}
+	sec := walSection(t, ts.URL)
+	if got := sec["segment_records"].(float64); got != 0 {
+		t.Errorf("segment_records after snapshot = %v, want 0 (fresh segment)", got)
+	}
+	if got := sec["snapshots"].(float64); got < 2 {
+		t.Errorf("snapshots = %v, want >= 2 (initial + manual)", got)
+	}
+	if got := sec["appends"].(float64); got != 3 {
+		t.Errorf("appends = %v, want 3", got)
+	}
+	ts.Close()
+	s.Close()
+
+	// Reopen: the snapshot carries the full state, so recovery replays zero
+	// records and the model predicts identically.
+	s2 := NewServer(Options{Workers: 2, QueueDepth: 16, WALDir: dir, WALSync: "always"})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() { ts2.Close(); s2.Close() }()
+
+	code, body = getJSON(t, ts2.URL+"/v1/models/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("recovered model info: %d %v", code, body)
+	}
+	if pts := body["points"].(float64); pts != n+48 {
+		t.Errorf("recovered model has %v points, want %d", pts, n+48)
+	}
+	sec = walSection(t, ts2.URL)
+	if got := sec["recovered_records"].(float64); got != 0 {
+		t.Errorf("recovered_records = %v, want 0 (snapshot covered everything)", got)
+	}
+	if got := sec["truncations"].(float64); got != 0 {
+		t.Errorf("truncations = %v, want 0 on a clean shutdown", got)
+	}
+	code, body = postJSON(t, ts2.URL+"/v1/models/"+id+"/predict", probe)
+	if code != http.StatusOK {
+		t.Fatalf("recovered predict: %d %v", code, body)
+	}
+	after := body["labels"].([]any)
+	if len(after) != len(before) {
+		t.Fatalf("recovered predict returned %d labels, want %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i].(float64) != before[i].(float64) {
+			t.Fatalf("recovered predict label[%d] = %v, original %v", i, after[i], before[i])
+		}
+	}
+}
+
+// TestServerSnapshotWithoutJournal pins the memory-only answer: snapshotting
+// a model on a server without -wal-dir is a 400 pointing at the save
+// endpoint, not a panic or a silent no-op.
+func TestServerSnapshotWithoutJournal(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	code, body := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name":      "d",
+		"synthetic": map[string]any{"kind": "ms", "n": 60, "seed": 1},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/models", map[string]any{
+		"dataset": "d", "method": "dbscan",
+		"params": map[string]any{"eps": 0.55, "tau": 4},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("fit: %d %v", code, body)
+	}
+	id := body["model"].(map[string]any)["id"].(string)
+	code, body = postJSON(t, ts.URL+"/v1/models/"+id+"/snapshot", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("snapshot without journal: %d %v, want 400", code, body)
+	}
+	if sec := walSection(t, ts.URL); sec["enabled"].(bool) {
+		t.Error("stats report wal enabled on a memory-only server")
+	}
+	code, body = postJSON(t, ts.URL+"/v1/models/nope/snapshot", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("snapshot of unknown model: %d %v, want 404", code, body)
+	}
+}

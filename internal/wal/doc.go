@@ -1,0 +1,44 @@
+// Package wal implements the write-ahead log behind durable models: an
+// append-only segment of length-prefixed, CRC32C-checksummed mutation
+// records (insert and remove batches) with three fsync policies and a
+// replay path that recovers the longest well-formed prefix of a segment
+// after a crash.
+//
+// # Segment format
+//
+// A segment file is an 8-byte header followed by zero or more records:
+//
+//	header:  "LAFW" magic | uint32 LE format version (currently 1)
+//	record:  uint32 LE payload length | uint32 LE CRC32-C of payload | payload
+//	payload: 1-byte kind | kind-specific body
+//
+// Kind 1 (insert) bodies carry uint32 count, uint32 dim, then count×dim
+// float32 values; kind 2 (remove) bodies carry uint32 count then count
+// uint32 point ids. All integers and float bit patterns are little-endian.
+// The CRC covers exactly the payload, so a torn tail (the crash landed
+// mid-write) and a corrupted record (the media flipped bits) are both
+// detected before a single byte of the record is interpreted.
+//
+// # Durability contract
+//
+// Append encodes a record into a reused buffer and hands it to the file in
+// ONE Write call, so a crash can tear at most the final record — never
+// interleave two. Under SyncAlways the append returns only after fsync:
+// the record is the commit point. SyncInterval amortizes the fsync over a
+// time window (bounded loss: records younger than the interval), SyncOff
+// leaves flushing to the OS (crash-consistent but not crash-durable —
+// replay still never sees a half-record, it just may not see the newest
+// ones).
+//
+// Replay scans a segment and stops at the first record that fails its
+// length, CRC or structural checks, reporting what was dropped. Torn and
+// corrupt tails are EXPECTED states after a crash, so they are reported in
+// the ReplayReport, not returned as errors; the named errors
+// (ErrTornRecord, ErrCorruptRecord, ErrBadHeader) appear in the report's
+// Reason and from DecodeRecord, and decoding never panics on arbitrary
+// bytes (FuzzDecodeRecord pins this).
+//
+// The filesystem is abstracted behind FS so tests can inject faults
+// (see the walfs subpackage: crash-at-byte-N, torn tails, bit flips,
+// short reads); OSFS is the production implementation.
+package wal

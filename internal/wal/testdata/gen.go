@@ -1,0 +1,62 @@
+// Command gen regenerates the committed fuzz seed corpus for
+// FuzzDecodeRecord. The cases mirror fuzzSeeds in fuzz_test.go — valid
+// records, torn and corrupt frames, adversarial lengths — so plain
+// `go test ./internal/wal` replays every named decoder edge case without
+// the fuzzing engine. Run from the repository root:
+//
+//	go run ./internal/wal/testdata
+//
+// (The go tool skips testdata directories in ./... wildcards, so this
+// package never enters normal builds.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"lafdbscan/internal/wal"
+)
+
+func main() {
+	out := flag.String("out", "internal/wal/testdata/fuzz/FuzzDecodeRecord", "corpus directory")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	enc := func(r wal.Record) []byte {
+		b, err := wal.AppendRecord(nil, &r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	}
+	insert := enc(wal.Record{Kind: wal.KindInsert, Vectors: [][]float32{{1, 2}, {3, 4}}})
+	remove := enc(wal.Record{Kind: wal.KindRemove, IDs: []int{0, 7, 42}})
+	corrupt := append([]byte(nil), insert...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	badKind := append([]byte(nil), remove...)
+	badKind[8] = 9
+	seeds := map[string][]byte{
+		"empty":            nil,
+		"insert":           insert,
+		"remove":           remove,
+		"two-records":      append(append([]byte(nil), insert...), remove...),
+		"torn-frame":       insert[:3],
+		"torn-payload":     insert[:9],
+		"flipped-bit":      corrupt,
+		"unknown-kind":     badKind,
+		"zero-length":      {0, 0, 0, 0, 0, 0, 0, 0},
+		"huge-length":      {0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4},
+		"plausible-length": {13, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0},
+	}
+	for name, b := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		if err := os.WriteFile(filepath.Join(*out, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d seeds to %s\n", len(seeds), *out)
+}

@@ -551,6 +551,15 @@ type modelPayloadV1 struct {
 // points, labels, cores, forest, configuration, and the RMI estimator
 // through internal/rmi's wire format when one is attached. A load of the
 // written bytes predicts identically to the in-memory model.
+//
+// Save holds the model's read lock for the whole write, so a snapshot
+// taken while other goroutines mutate the model is always a consistent
+// cut: it reflects every mutation that completed before the lock was
+// acquired and none that started after — never a half-applied batch. When
+// the model is wrapped in a DurableModel this also means a snapshot falls
+// exactly on a WAL record boundary (the durable mutex orders each record's
+// append and apply as one critical section), which is what lets recovery
+// replay the remaining journal on top of it bit-identically.
 func (m *Model) Save(w io.Writer) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
